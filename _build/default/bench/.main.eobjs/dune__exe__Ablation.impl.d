@@ -1,0 +1,1 @@
+bench/ablation.ml: Array Bbox_store Bench_util Binary_label Box_store Buffer Dewey_label Fig_workload Int List Lxu_join Lxu_labeling Lxu_seglog Prime_label Printf String Update_log

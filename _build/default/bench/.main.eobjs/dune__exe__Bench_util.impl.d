@@ -1,0 +1,1 @@
+bench/bench_util.ml: Lazy_xml List Lxu_join Lxu_labeling Lxu_seglog Printf String Sys Unix

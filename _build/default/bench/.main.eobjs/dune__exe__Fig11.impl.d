@@ -1,0 +1,1 @@
+bench/fig11.ml: Bench_util List Lxu_seglog String Update_log

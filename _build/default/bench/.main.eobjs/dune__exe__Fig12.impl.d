@@ -1,0 +1,1 @@
+bench/fig12.ml: Bench_util Joinmix List Lxu_seglog Lxu_workload Printf Update_log

@@ -1,0 +1,1 @@
+bench/fig13.ml: Bench_util Chopper Generator List Lxu_join Lxu_seglog Lxu_workload Lxu_xml Printf String Update_log

@@ -1,0 +1,1 @@
+bench/fig14_15.ml: Bench_util Chopper List Lxu_join Lxu_seglog Lxu_workload Printf String Update_log Xmark

@@ -1,0 +1,1 @@
+bench/fig16.ml: Bench_util Chopper Interval_store List Lxu_labeling Lxu_seglog Lxu_workload String Update_log Xmark

@@ -1,0 +1,1 @@
+bench/fig17.ml: Bench_util Buffer Er_node Fig11 List Lxu_labeling Lxu_seglog Prime_label Printf Update_log

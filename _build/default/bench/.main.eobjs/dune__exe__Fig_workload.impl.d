@@ -1,0 +1,1 @@
+bench/fig_workload.ml: Buffer Er_node List Lxu_seglog Printf String Update_log

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array Fig11 Fig12 Fig13 Fig14_15 Fig16 Fig17 Hashtbl List Micro Printf String Sys

@@ -1,0 +1,75 @@
+(* Figure 11: update-log size (a) and building time (b) as the number
+   of inserted segments grows, for nested and balanced ER-trees.  Every
+   segment contains all element tags — the paper's worst case for the
+   tag-list. *)
+
+open Lxu_seglog
+
+(* A segment holding one element of each of 8 tags, with the last tag
+   usable as a nesting hook. *)
+let fragment =
+  "<t0><t1/><t2/><t3/><t4/><t5/><t6/><t7></t7></t0>"
+
+let nested_offset =
+  (* Just after "<t7>". *)
+  let i = ref 0 in
+  let sub = "</t7>" in
+  while String.sub fragment !i (String.length sub) <> sub do
+    incr i
+  done;
+  !i
+
+let schedule shape n =
+  let len = String.length fragment in
+  let edits = ref [] in
+  let cursor = ref 0 in
+  for _ = 1 to n do
+    edits := (!cursor, fragment) :: !edits;
+    cursor :=
+      (match shape with
+      | `Balanced -> !cursor + len
+      | `Nested -> !cursor + nested_offset)
+  done;
+  List.rev !edits
+
+let sizes n =
+  let result shape =
+    let log = Bench_util.load_log Update_log.Lazy_dynamic (schedule shape n) in
+    (Update_log.sb_size_bytes log, Update_log.tag_list_size_bytes log)
+  in
+  (result `Balanced, result `Nested)
+
+let run_a () =
+  Bench_util.header "Figure 11(a): update log size vs segments (bytes)";
+  Bench_util.columns
+    [ 10; 12; 12; 12; 12; 12; 12 ]
+    [ "segments"; "bal.sb"; "bal.tags"; "bal.total"; "nst.sb"; "nst.tags"; "nst.total" ];
+  List.iter
+    (fun n ->
+      let (bsb, btl), (nsb, ntl) = sizes n in
+      Bench_util.columns
+        [ 10; 12; 12; 12; 12; 12; 12 ]
+        [
+          string_of_int n;
+          Bench_util.fmt_bytes bsb;
+          Bench_util.fmt_bytes btl;
+          Bench_util.fmt_bytes (bsb + btl);
+          Bench_util.fmt_bytes nsb;
+          Bench_util.fmt_bytes ntl;
+          Bench_util.fmt_bytes (nsb + ntl);
+        ])
+    [ 50; 100; 150; 200; 250; 300 ]
+
+let run_b () =
+  Bench_util.header "Figure 11(b): update log building time vs segments (ms)";
+  Bench_util.columns [ 10; 14; 14 ] [ "segments"; "balanced"; "nested" ];
+  List.iter
+    (fun n ->
+      let t shape =
+        let edits = schedule shape n in
+        Bench_util.measure ~repeat:3 (fun () ->
+            ignore (Bench_util.load_log Update_log.Lazy_dynamic edits))
+      in
+      Bench_util.columns [ 10; 14; 14 ]
+        [ string_of_int n; Bench_util.fmt_ms (t `Balanced); Bench_util.fmt_ms (t `Nested) ])
+    [ 50; 100; 150; 200; 250; 300 ]

@@ -1,0 +1,45 @@
+(* Figure 12: elapsed structural-join time as the percentage of
+   cross-segment joins varies, on nested (a,b) and balanced (c,d)
+   ER-trees with 50 and 100 segments, comparing LS, LD and STD.  Total
+   segments, elements and result pairs stay constant along each row. *)
+
+open Lxu_workload
+open Lxu_seglog
+
+let run_one ~shape ~segments ~pairs_per_segment =
+  Printf.printf "\n-- %s ER-tree, %d segments (%d result pairs per row) --\n"
+    (match shape with Joinmix.Nested -> "nested" | Joinmix.Balanced -> "balanced")
+    segments
+    (segments * pairs_per_segment);
+  Bench_util.columns [ 10; 10; 12; 12; 12 ] [ "cross%"; "pairs"; "LS ms"; "LD ms"; "STD ms" ];
+  List.iter
+    (fun cross_percent ->
+      let spec = { Joinmix.segments; pairs_per_segment; cross_percent; shape } in
+      let schedule = Joinmix.generate spec in
+      let anc = schedule.Joinmix.anc_tag and desc = schedule.Joinmix.desc_tag in
+      let ld = Bench_util.load_log Update_log.Lazy_dynamic schedule.Joinmix.edits in
+      let ls = Bench_util.load_log Update_log.Lazy_static schedule.Joinmix.edits in
+      let pairs =
+        schedule.Joinmix.expected_in_pairs + schedule.Joinmix.expected_cross_pairs
+      in
+      Bench_util.columns [ 10; 10; 12; 12; 12 ]
+        [
+          string_of_int cross_percent;
+          string_of_int pairs;
+          Bench_util.fmt_ms (Bench_util.time_ls ls ~anc ~desc);
+          Bench_util.fmt_ms (Bench_util.time_ld ld ~anc ~desc);
+          Bench_util.fmt_ms (Bench_util.time_std ld ~anc ~desc);
+        ])
+    [ 0; 20; 40; 60; 80; 95 ]
+
+let run () =
+  Bench_util.header
+    "Figure 12: join time vs cross-segment join percentage (LS / LD / STD)";
+  List.iter
+    (fun (shape, segments) -> run_one ~shape ~segments ~pairs_per_segment:(40 * Bench_util.scale))
+    [
+      (Joinmix.Nested, 50);
+      (Joinmix.Nested, 100);
+      (Joinmix.Balanced, 50);
+      (Joinmix.Balanced, 100);
+    ]

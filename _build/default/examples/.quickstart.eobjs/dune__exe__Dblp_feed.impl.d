@@ -1,0 +1,1 @@
+examples/dblp_feed.ml: Lazy_db Lazy_xml List Lxu_workload Printf Rng String

@@ -1,0 +1,1 @@
+examples/news_portal.ml: Domain Filename Lazy_db Lazy_xml List Lxu_workload Path_query Printf Rng Shared_db String Sys

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Lazy_db Lazy_xml List Printf String

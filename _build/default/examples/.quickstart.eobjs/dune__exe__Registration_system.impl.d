@@ -1,0 +1,1 @@
+examples/registration_system.ml: Hashtbl Lazy_db Lazy_xml List Lxu_workload Printf Rng String

@@ -1,0 +1,1 @@
+examples/registration_system.mli:

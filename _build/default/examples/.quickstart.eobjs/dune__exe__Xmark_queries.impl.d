@@ -1,0 +1,1 @@
+examples/xmark_queries.ml: Array Chopper Lazy_db Lazy_xml List Lxu_workload Printf String Sys Unix Xmark

@@ -1,0 +1,1 @@
+examples/xmark_queries.mli:

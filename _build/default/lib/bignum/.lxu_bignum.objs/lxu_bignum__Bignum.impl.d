@@ -1,0 +1,1 @@
+lib/bignum/bignum.ml: Array Buffer Char Format List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/bignum/bignum.mli: Format

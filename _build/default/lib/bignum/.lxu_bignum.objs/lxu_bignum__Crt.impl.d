@@ -1,0 +1,1 @@
+lib/bignum/crt.ml: Bignum List

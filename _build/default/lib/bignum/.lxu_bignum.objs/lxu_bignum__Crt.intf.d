@@ -1,0 +1,1 @@
+lib/bignum/crt.mli: Bignum

@@ -1,0 +1,1 @@
+lib/bignum/prime_gen.ml: Array

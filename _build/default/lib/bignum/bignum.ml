@@ -1,0 +1,230 @@
+(* Little-endian limbs in base 2^31.  The invariant is that the highest
+   limb is non-zero; zero is the empty array.  Base 2^31 keeps every
+   intermediate product [limb * limb + carry] below 2^63 on a 64-bit
+   OCaml int. *)
+
+let limb_bits = 31
+let base = 1 lsl limb_bits
+let limb_mask = base - 1
+
+type t = int array
+
+exception Underflow
+
+let zero : t = [||]
+let one : t = [| 1 |]
+
+let is_zero a = Array.length a = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignum.of_int: negative";
+  if n = 0 then zero
+  else begin
+    let rec count acc n = if n = 0 then acc else count (acc + 1) (n lsr limb_bits) in
+    let len = count 0 n in
+    let a = Array.make len 0 in
+    let rec fill i n =
+      if n <> 0 then begin
+        a.(i) <- n land limb_mask;
+        fill (i + 1) (n lsr limb_bits)
+      end
+    in
+    fill 0 n;
+    a
+  end
+
+let to_int_opt a =
+  (* A native int holds at most 62 significant bits: two full limbs. *)
+  match Array.length a with
+  | 0 -> Some 0
+  | 1 -> Some a.(0)
+  | 2 -> Some (a.(0) lor (a.(1) lsl limb_bits))
+  | _ -> None
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else go (i - 1)
+    in
+    go (la - 1)
+  end
+
+let equal a b = compare a b = 0
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = max la lb in
+  let r = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let s = (if i < la then a.(i) else 0) + (if i < lb then b.(i) else 0) + !carry in
+    r.(i) <- s land limb_mask;
+    carry := s lsr limb_bits
+  done;
+  r.(lmax) <- !carry;
+  normalize r
+
+let sub a b =
+  let la = Array.length a and lb = Array.length b in
+  if lb > la then raise Underflow;
+  let r = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let d = a.(i) - (if i < lb then b.(i) else 0) - !borrow in
+    if d < 0 then begin
+      r.(i) <- d + base;
+      borrow := 1
+    end else begin
+      r.(i) <- d;
+      borrow := 0
+    end
+  done;
+  if !borrow <> 0 then raise Underflow;
+  normalize r
+
+let mul a b =
+  if is_zero a || is_zero b then zero
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let r = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      let ai = a.(i) in
+      for j = 0 to lb - 1 do
+        let s = r.(i + j) + (ai * b.(j)) + !carry in
+        r.(i + j) <- s land limb_mask;
+        carry := s lsr limb_bits
+      done;
+      (* Propagate the final carry; it can itself overflow one limb. *)
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let s = r.(!k) + !carry in
+        r.(!k) <- s land limb_mask;
+        carry := s lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize r
+  end
+
+let mul_small a k =
+  if k < 0 || k >= base then invalid_arg "Bignum.mul_small: out of range";
+  if k = 0 || is_zero a then zero
+  else begin
+    let la = Array.length a in
+    let r = Array.make (la + 1) 0 in
+    let carry = ref 0 in
+    for i = 0 to la - 1 do
+      let s = (a.(i) * k) + !carry in
+      r.(i) <- s land limb_mask;
+      carry := s lsr limb_bits
+    done;
+    r.(la) <- !carry;
+    normalize r
+  end
+
+let divmod_small a k =
+  if k <= 0 || k >= base then invalid_arg "Bignum.divmod_small: out of range";
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl limb_bits) lor a.(i) in
+    q.(i) <- cur / k;
+    r := cur mod k
+  done;
+  (normalize q, !r)
+
+let mod_small a k = snd (divmod_small a k)
+
+let bit_length a =
+  match Array.length a with
+  | 0 -> 0
+  | n ->
+    let top = a.(n - 1) in
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    ((n - 1) * limb_bits) + width 0 top
+
+let shift_left_bits a k =
+  if is_zero a || k = 0 then a
+  else begin
+    let limbs = k / limb_bits and bits = k mod limb_bits in
+    let la = Array.length a in
+    let r = Array.make (la + limbs + 1) 0 in
+    for i = 0 to la - 1 do
+      let v = a.(i) lsl bits in
+      r.(i + limbs) <- r.(i + limbs) lor (v land limb_mask);
+      r.(i + limbs + 1) <- v lsr limb_bits
+    done;
+    normalize r
+  end
+
+(* Binary long division: simple, clearly correct, and fast enough for
+   the PRIME benchmarks where full division only runs ancestor tests. *)
+let divmod a b =
+  if is_zero b then raise Division_by_zero;
+  if compare a b < 0 then (zero, a)
+  else begin
+    let shift = bit_length a - bit_length b in
+    let q = Array.make (shift / limb_bits + 1) 0 in
+    let rem = ref a in
+    for i = shift downto 0 do
+      let d = shift_left_bits b i in
+      if compare !rem d >= 0 then begin
+        rem := sub !rem d;
+        q.(i / limb_bits) <- q.(i / limb_bits) lor (1 lsl (i mod limb_bits))
+      end
+    done;
+    (normalize q, !rem)
+  end
+
+let rem a b = snd (divmod a b)
+let divisible a ~by = is_zero (rem a by)
+
+let byte_size a = 8 * (Array.length a + 2)
+
+(* Decimal conversion goes through base-10^9 chunks to limit the number
+   of small divisions. *)
+let chunk = 1_000_000_000
+
+let to_string a =
+  if is_zero a then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec chunks acc a =
+      if is_zero a then acc
+      else begin
+        let q, r = divmod_small a chunk in
+        chunks (r :: acc) q
+      end
+    in
+    match chunks [] a with
+    | [] -> assert false
+    | first :: rest ->
+      Buffer.add_string buf (string_of_int first);
+      List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%09d" c)) rest;
+      Buffer.contents buf
+  end
+
+let of_string s =
+  if s = "" then invalid_arg "Bignum.of_string: empty";
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bignum.of_string: not a digit";
+      acc := add (mul_small !acc 10) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

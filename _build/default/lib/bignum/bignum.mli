@@ -1,0 +1,74 @@
+(** Arbitrary-precision natural numbers.
+
+    The PRIME labeling scheme of Wu, Lee and Hsu (ICDE 2004) assigns to
+    every node the product of the prime self-labels on its root path and
+    maintains document order through simultaneous-congruence values
+    modulo the product of up to [K] primes.  Both quantities overflow
+    native integers almost immediately, so this module provides the
+    minimal big-natural arithmetic the scheme needs: addition,
+    subtraction, multiplication, full and small division, remainders and
+    decimal conversion.
+
+    Values are immutable.  Negative results are a programming error and
+    raise [Underflow]. *)
+
+type t
+(** A non-negative arbitrary-precision integer. *)
+
+exception Underflow
+(** Raised by {!sub} when the result would be negative. *)
+
+val zero : t
+val one : t
+
+val of_int : int -> t
+(** [of_int n] converts a non-negative native integer.
+    @raise Invalid_argument if [n < 0]. *)
+
+val to_int_opt : t -> int option
+(** [to_int_opt t] is [Some n] when [t] fits in a native integer. *)
+
+val is_zero : t -> bool
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+(** [sub a b] is [a - b]. @raise Underflow if [b > a]. *)
+
+val mul : t -> t -> t
+
+val mul_small : t -> int -> t
+(** [mul_small a k] multiplies by a native integer [0 <= k < 2{^31}]. *)
+
+val divmod : t -> t -> t * t
+(** [divmod a b] is [(a / b, a mod b)].
+    @raise Division_by_zero if [b] is zero. *)
+
+val rem : t -> t -> t
+(** [rem a b] is [a mod b]. *)
+
+val divisible : t -> by:t -> bool
+(** [divisible a ~by:b] is [true] iff [b] divides [a].  This is the
+    PRIME ancestor test: [X] is an ancestor of [Y] iff
+    [divisible (label y) ~by:(label x)]. *)
+
+val divmod_small : t -> int -> t * int
+(** [divmod_small a k] divides by a native integer [1 <= k < 2{^31}]. *)
+
+val mod_small : t -> int -> int
+(** [mod_small a k] is [a mod k] for a native integer modulus. *)
+
+val bit_length : t -> int
+(** Number of significant bits; [bit_length zero = 0]. *)
+
+val byte_size : t -> int
+(** Approximate in-memory footprint in bytes (for space accounting). *)
+
+val to_string : t -> string
+(** Decimal representation. *)
+
+val of_string : string -> t
+(** Parses a decimal string. @raise Invalid_argument on bad input. *)
+
+val pp : Format.formatter -> t -> unit

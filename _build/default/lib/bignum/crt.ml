@@ -1,0 +1,44 @@
+(* Chinese-remainder solver over word-sized pairwise-coprime moduli.
+
+   The PRIME scheme maintains document order as a "simultaneous
+   congruence" value SC per group of K nodes: SC mod p_i = order_i for
+   each self-label prime p_i in the group.  Inserting a node in the
+   middle of the order forces the SC of its group (and of all following
+   groups, whose orders shift) to be recomputed — this recomputation is
+   exactly the cost the paper's Figure 17 measures against the lazy
+   approach. *)
+
+(* Extended gcd on native ints: egcd a b = (g, x, y) with ax + by = g. *)
+let rec egcd a b = if b = 0 then (a, 1, 0) else begin
+  let g, x, y = egcd b (a mod b) in
+  (g, y, x - (a / b) * y)
+end
+
+let inverse_mod a m =
+  let a = ((a mod m) + m) mod m in
+  let g, x, _ = egcd a m in
+  if g <> 1 then invalid_arg "Crt.inverse_mod: not coprime";
+  ((x mod m) + m) mod m
+
+let solve pairs =
+  match pairs with
+  | [] -> invalid_arg "Crt.solve: empty system"
+  | _ ->
+    let modulus =
+      List.fold_left (fun acc (_, p) -> Bignum.mul_small acc p) Bignum.one pairs
+    in
+    let value =
+      List.fold_left
+        (fun acc (r, p) ->
+          if r < 0 || r >= p then invalid_arg "Crt.solve: residue out of range";
+          (* term = (M/p) * ((M/p)^-1 mod p) * r *)
+          let m_over_p, z = Bignum.divmod_small modulus p in
+          assert (z = 0);
+          let inv = inverse_mod (Bignum.mod_small m_over_p p) p in
+          let term = Bignum.mul_small (Bignum.mul_small m_over_p inv) r in
+          Bignum.rem (Bignum.add acc term) modulus)
+        Bignum.zero pairs
+    in
+    (value, modulus)
+
+let residue value p = Bignum.mod_small value p

@@ -1,0 +1,16 @@
+(** Chinese-remainder-theorem solver used by the PRIME labeling
+    baseline's simultaneous-congruence order table. *)
+
+val inverse_mod : int -> int -> int
+(** [inverse_mod a m] is the multiplicative inverse of [a] modulo [m].
+    @raise Invalid_argument when [gcd a m <> 1]. *)
+
+val solve : (int * int) list -> Bignum.t * Bignum.t
+(** [solve [(r1, p1); …; (rk, pk)]] returns [(v, m)] with
+    [m = p1 * … * pk] and [v mod pi = ri] for every [i].  The moduli
+    must be pairwise coprime and each residue must satisfy
+    [0 <= ri < pi].
+    @raise Invalid_argument on an empty system or out-of-range residue. *)
+
+val residue : Bignum.t -> int -> int
+(** [residue v p] recovers the order number stored for prime [p]. *)

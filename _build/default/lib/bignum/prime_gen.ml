@@ -1,0 +1,57 @@
+(* Incremental prime generation for the PRIME labeling scheme: each XML
+   node consumes one fresh prime as its self-label, so we need a stream
+   of primes that can grow without a pre-declared bound. *)
+
+type t = {
+  mutable primes : int array;  (* primes found so far, ascending *)
+  mutable count : int;         (* number of valid entries in [primes] *)
+  mutable next_candidate : int;
+}
+
+let create () = { primes = Array.make 64 0; count = 0; next_candidate = 2 }
+
+let is_prime_against primes count n =
+  let rec go i =
+    if i >= count then true
+    else begin
+      let p = primes.(i) in
+      if p * p > n then true
+      else if n mod p = 0 then false
+      else go (i + 1)
+    end
+  in
+  go 0
+
+let grow t =
+  let n = ref t.next_candidate in
+  while not (is_prime_against t.primes t.count !n) do
+    incr n
+  done;
+  if t.count = Array.length t.primes then begin
+    let bigger = Array.make (2 * t.count) 0 in
+    Array.blit t.primes 0 bigger 0 t.count;
+    t.primes <- bigger
+  end;
+  t.primes.(t.count) <- !n;
+  t.count <- t.count + 1;
+  t.next_candidate <- !n + 1
+
+let nth t i =
+  if i < 0 then invalid_arg "Prime_gen.nth: negative index";
+  while t.count <= i do
+    grow t
+  done;
+  t.primes.(i)
+
+let next t =
+  let i = t.count in
+  nth t i
+
+let count t = t.count
+
+let is_prime n =
+  if n < 2 then false
+  else begin
+    let rec go d = d * d > n || (n mod d <> 0 && go (d + 1)) in
+    go 2
+  end

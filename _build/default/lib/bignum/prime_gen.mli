@@ -1,0 +1,24 @@
+(** A growable stream of prime numbers.
+
+    The PRIME labeling scheme assigns a distinct prime self-label to
+    every XML node in insertion order; this generator produces that
+    stream incrementally with trial division against the primes already
+    found. *)
+
+type t
+
+val create : unit -> t
+(** A fresh stream positioned before 2. *)
+
+val nth : t -> int -> int
+(** [nth t i] is the [i]-th prime (0-based: [nth t 0 = 2]), extending
+    the internal table as needed. *)
+
+val next : t -> int
+(** Produces the next unseen prime and advances the stream. *)
+
+val count : t -> int
+(** Number of primes generated so far. *)
+
+val is_prime : int -> bool
+(** Standalone primality test by trial division (test helper). *)

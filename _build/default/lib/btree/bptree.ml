@@ -1,0 +1,439 @@
+(* Classic order-[branching] B+-tree with nodes as mutable arrays.
+
+   Conventions:
+   - An internal node with [count] children has [count - 1] separator
+     keys; child [i] covers keys [k] with [keys.(i-1) <= k < keys.(i)].
+   - A leaf holds up to [branching] keys; an internal node up to
+     [branching] children.  Arrays have one slot of slack so that
+     insertion can temporarily overflow before splitting.
+   - Minimum occupancy (except for the root): leaves hold at least
+     [branching / 2] keys, internal nodes at least
+     [(branching + 1) / 2] children.  Deletion rebalances by borrowing
+     from a sibling or merging with it.
+
+   Arrays need a filler element to be allocated, so leaves are born
+   from an actual first insertion and internal nodes from an actual
+   split; the empty tree is a zero-capacity leaf replaced on first
+   insert. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : ORDERED) = struct
+  type 'v leaf = {
+    mutable lkeys : K.t array;
+    mutable lvals : 'v array;
+    mutable lcount : int;
+    mutable next : 'v leaf option;
+  }
+
+  type 'v node = Leaf of 'v leaf | Internal of 'v internal
+
+  and 'v internal = {
+    mutable ikeys : K.t array;
+    mutable children : 'v node array;
+    mutable ccount : int;  (* number of children; separators = ccount - 1 *)
+  }
+
+  type 'v t = {
+    branching : int;
+    mutable root : 'v node;
+    mutable size : int;
+  }
+
+  let empty_leaf () = { lkeys = [||]; lvals = [||]; lcount = 0; next = None }
+
+  let create ?(branching = 32) () =
+    if branching < 4 then invalid_arg "Bptree.create: branching < 4";
+    { branching; root = Leaf (empty_leaf ()); size = 0 }
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  (* Position of the child of [node] that covers key [k]: the number of
+     separators strictly <= k ... more precisely the first index [i]
+     such that [k < keys.(i)], found by binary search. *)
+  let child_index inode k =
+    let nkeys = inode.ccount - 1 in
+    let lo = ref 0 and hi = ref nkeys in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare k inode.ikeys.(mid) < 0 then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  (* First index [i] in the leaf with [lkeys.(i) >= k]; may be lcount. *)
+  let leaf_lower_bound leaf k =
+    let lo = ref 0 and hi = ref leaf.lcount in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if K.compare leaf.lkeys.(mid) k < 0 then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let rec find_leaf node k =
+    match node with
+    | Leaf leaf -> leaf
+    | Internal inode -> find_leaf inode.children.(child_index inode k) k
+
+  let find t k =
+    let leaf = find_leaf t.root k in
+    let i = leaf_lower_bound leaf k in
+    if i < leaf.lcount && K.compare leaf.lkeys.(i) k = 0 then Some leaf.lvals.(i)
+    else None
+
+  let mem t k = Option.is_some (find t k)
+
+  (* --- insertion ------------------------------------------------- *)
+
+  (* Result of inserting below: either done in place, or the child
+     split and [key] must be routed to the new right sibling. *)
+  type 'v split = NoSplit | Split of K.t * 'v node
+
+  let array_insert a count i x =
+    Array.blit a i a (i + 1) (count - i);
+    a.(i) <- x
+
+  let ensure_leaf_capacity t leaf =
+    (* Capacity branching + 1 leaves room for a temporary overflow. *)
+    let cap = t.branching + 1 in
+    if Array.length leaf.lkeys < cap && leaf.lcount > 0 then begin
+      let k0 = leaf.lkeys.(0) and v0 = leaf.lvals.(0) in
+      let nk = Array.make cap k0 and nv = Array.make cap v0 in
+      Array.blit leaf.lkeys 0 nk 0 leaf.lcount;
+      Array.blit leaf.lvals 0 nv 0 leaf.lcount;
+      leaf.lkeys <- nk;
+      leaf.lvals <- nv
+    end
+
+  let leaf_insert t leaf k v =
+    if leaf.lcount = 0 then begin
+      let cap = t.branching + 1 in
+      leaf.lkeys <- Array.make cap k;
+      leaf.lvals <- Array.make cap v;
+      leaf.lcount <- 1;
+      `Inserted
+    end else begin
+      let i = leaf_lower_bound leaf k in
+      if i < leaf.lcount && K.compare leaf.lkeys.(i) k = 0 then begin
+        leaf.lvals.(i) <- v;
+        `Replaced
+      end else begin
+        ensure_leaf_capacity t leaf;
+        array_insert leaf.lkeys leaf.lcount i k;
+        array_insert leaf.lvals leaf.lcount i v;
+        leaf.lcount <- leaf.lcount + 1;
+        `Inserted
+      end
+    end
+
+  let split_leaf t leaf =
+    let mid = leaf.lcount / 2 in
+    let right_count = leaf.lcount - mid in
+    let cap = t.branching + 1 in
+    let rk = Array.make cap leaf.lkeys.(mid) in
+    let rv = Array.make cap leaf.lvals.(mid) in
+    Array.blit leaf.lkeys mid rk 0 right_count;
+    Array.blit leaf.lvals mid rv 0 right_count;
+    let right = { lkeys = rk; lvals = rv; lcount = right_count; next = leaf.next } in
+    leaf.lcount <- mid;
+    leaf.next <- Some right;
+    Split (rk.(0), Leaf right)
+
+  let split_internal t inode =
+    (* Children [0..mid] stay; separator [mid] moves up; children
+       [mid+1 ..] go right. *)
+    let mid = inode.ccount / 2 in
+    let up_key = inode.ikeys.(mid - 1) in
+    let right_children = inode.ccount - mid in
+    let kcap = t.branching + 1 and ccap = t.branching + 2 in
+    let rk = Array.make kcap up_key in
+    let rc = Array.make ccap inode.children.(mid) in
+    Array.blit inode.ikeys mid rk 0 (inode.ccount - 1 - mid);
+    Array.blit inode.children mid rc 0 right_children;
+    let right = { ikeys = rk; children = rc; ccount = right_children } in
+    inode.ccount <- mid;
+    Split (up_key, Internal right)
+
+  let rec insert_node t node k v =
+    match node with
+    | Leaf leaf -> begin
+      match leaf_insert t leaf k v with
+      | `Replaced -> NoSplit
+      | `Inserted ->
+        t.size <- t.size + 1;
+        if leaf.lcount > t.branching then split_leaf t leaf else NoSplit
+    end
+    | Internal inode -> begin
+      let i = child_index inode k in
+      match insert_node t inode.children.(i) k v with
+      | NoSplit -> NoSplit
+      | Split (sep, right) ->
+        array_insert inode.ikeys (inode.ccount - 1) i sep;
+        array_insert inode.children inode.ccount (i + 1) right;
+        inode.ccount <- inode.ccount + 1;
+        if inode.ccount > t.branching then split_internal t inode else NoSplit
+    end
+
+  let insert t k v =
+    match insert_node t t.root k v with
+    | NoSplit -> ()
+    | Split (sep, right) ->
+      let kcap = t.branching + 1 and ccap = t.branching + 2 in
+      let ik = Array.make kcap sep in
+      let ic = Array.make ccap t.root in
+      ic.(1) <- right;
+      t.root <- Internal { ikeys = ik; children = ic; ccount = 2 }
+
+  (* --- deletion --------------------------------------------------- *)
+
+  let min_leaf_keys t = t.branching / 2
+  let min_children t = (t.branching + 1) / 2
+
+  let array_remove a count i =
+    Array.blit a (i + 1) a i (count - i - 1)
+
+  let leaf_underflows t leaf = leaf.lcount < min_leaf_keys t
+  let internal_underflows t inode = inode.ccount < min_children t
+
+  (* Fix an underflowing child [i] of [parent] by borrowing from or
+     merging with an adjacent sibling. *)
+  let fix_child t parent i =
+    let child = parent.children.(i) in
+    let borrow_from_left li =
+      match (parent.children.(li), child) with
+      | Leaf l, Leaf c ->
+        ensure_leaf_capacity t c;
+        array_insert c.lkeys c.lcount 0 l.lkeys.(l.lcount - 1);
+        array_insert c.lvals c.lcount 0 l.lvals.(l.lcount - 1);
+        c.lcount <- c.lcount + 1;
+        l.lcount <- l.lcount - 1;
+        parent.ikeys.(li) <- c.lkeys.(0)
+      | Internal l, Internal c ->
+        array_insert c.ikeys (c.ccount - 1) 0 parent.ikeys.(li);
+        array_insert c.children c.ccount 0 l.children.(l.ccount - 1);
+        c.ccount <- c.ccount + 1;
+        parent.ikeys.(li) <- l.ikeys.(l.ccount - 2);
+        l.ccount <- l.ccount - 1
+      | _ -> assert false
+    in
+    let borrow_from_right ri =
+      match (child, parent.children.(ri)) with
+      | Leaf c, Leaf r ->
+        ensure_leaf_capacity t c;
+        c.lkeys.(c.lcount) <- r.lkeys.(0);
+        c.lvals.(c.lcount) <- r.lvals.(0);
+        c.lcount <- c.lcount + 1;
+        array_remove r.lkeys r.lcount 0;
+        array_remove r.lvals r.lcount 0;
+        r.lcount <- r.lcount - 1;
+        parent.ikeys.(i) <- r.lkeys.(0)
+      | Internal c, Internal r ->
+        c.ikeys.(c.ccount - 1) <- parent.ikeys.(i);
+        c.children.(c.ccount) <- r.children.(0);
+        c.ccount <- c.ccount + 1;
+        parent.ikeys.(i) <- r.ikeys.(0);
+        array_remove r.ikeys (r.ccount - 1) 0;
+        array_remove r.children r.ccount 0;
+        r.ccount <- r.ccount - 1
+      | _ -> assert false
+    in
+    (* Merge child [j] and child [j+1] into child [j]. *)
+    let merge j =
+      begin
+        match (parent.children.(j), parent.children.(j + 1)) with
+        | Leaf l, Leaf r ->
+          ensure_leaf_capacity t l;
+          if Array.length l.lkeys < l.lcount + r.lcount then begin
+            let cap = max (t.branching + 1) (l.lcount + r.lcount) in
+            let nk = Array.make cap l.lkeys.(0) and nv = Array.make cap l.lvals.(0) in
+            Array.blit l.lkeys 0 nk 0 l.lcount;
+            Array.blit l.lvals 0 nv 0 l.lcount;
+            l.lkeys <- nk;
+            l.lvals <- nv
+          end;
+          Array.blit r.lkeys 0 l.lkeys l.lcount r.lcount;
+          Array.blit r.lvals 0 l.lvals l.lcount r.lcount;
+          l.lcount <- l.lcount + r.lcount;
+          l.next <- r.next
+        | Internal l, Internal r ->
+          l.ikeys.(l.ccount - 1) <- parent.ikeys.(j);
+          Array.blit r.ikeys 0 l.ikeys l.ccount (r.ccount - 1);
+          Array.blit r.children 0 l.children l.ccount r.ccount;
+          l.ccount <- l.ccount + r.ccount
+        | _ -> assert false
+      end;
+      array_remove parent.ikeys (parent.ccount - 1) j;
+      array_remove parent.children parent.ccount (j + 1);
+      parent.ccount <- parent.ccount - 1
+    in
+    let left_can_lend =
+      i > 0
+      &&
+      match parent.children.(i - 1) with
+      | Leaf l -> l.lcount > min_leaf_keys t
+      | Internal n -> n.ccount > min_children t
+    in
+    let right_can_lend =
+      i < parent.ccount - 1
+      &&
+      match parent.children.(i + 1) with
+      | Leaf r -> r.lcount > min_leaf_keys t
+      | Internal n -> n.ccount > min_children t
+    in
+    if left_can_lend then borrow_from_left (i - 1)
+    else if right_can_lend then borrow_from_right (i + 1)
+    else if i > 0 then merge (i - 1)
+    else merge i
+
+  let rec remove_node t node k =
+    match node with
+    | Leaf leaf ->
+      let i = leaf_lower_bound leaf k in
+      if i < leaf.lcount && K.compare leaf.lkeys.(i) k = 0 then begin
+        array_remove leaf.lkeys leaf.lcount i;
+        array_remove leaf.lvals leaf.lcount i;
+        leaf.lcount <- leaf.lcount - 1;
+        t.size <- t.size - 1;
+        true
+      end else false
+    | Internal inode ->
+      let i = child_index inode k in
+      let removed = remove_node t inode.children.(i) k in
+      if removed then begin
+        let underflow =
+          match inode.children.(i) with
+          | Leaf l -> leaf_underflows t l
+          | Internal n -> internal_underflows t n
+        in
+        if underflow then fix_child t inode i
+      end;
+      removed
+
+  let remove t k =
+    let removed = remove_node t t.root k in
+    (match t.root with
+    | Internal inode when inode.ccount = 1 -> t.root <- inode.children.(0)
+    | _ -> ());
+    removed
+
+  (* --- traversal -------------------------------------------------- *)
+
+  let rec leftmost_leaf = function
+    | Leaf leaf -> leaf
+    | Internal inode -> leftmost_leaf inode.children.(0)
+
+  let rec rightmost_leaf = function
+    | Leaf leaf -> leaf
+    | Internal inode -> rightmost_leaf inode.children.(inode.ccount - 1)
+
+  let min_binding t =
+    let leaf = leftmost_leaf t.root in
+    if leaf.lcount = 0 then None else Some (leaf.lkeys.(0), leaf.lvals.(0))
+
+  let max_binding t =
+    let leaf = rightmost_leaf t.root in
+    if leaf.lcount = 0 then None
+    else Some (leaf.lkeys.(leaf.lcount - 1), leaf.lvals.(leaf.lcount - 1))
+
+  let iter t f =
+    let rec go leaf =
+      for i = 0 to leaf.lcount - 1 do
+        f leaf.lkeys.(i) leaf.lvals.(i)
+      done;
+      match leaf.next with None -> () | Some next -> go next
+    in
+    go (leftmost_leaf t.root)
+
+  let iter_from t lo f =
+    let leaf = find_leaf t.root lo in
+    let continue_ = ref true in
+    let rec go leaf start =
+      let i = ref start in
+      while !continue_ && !i < leaf.lcount do
+        if not (f leaf.lkeys.(!i) leaf.lvals.(!i)) then continue_ := false;
+        incr i
+      done;
+      if !continue_ then
+        match leaf.next with None -> () | Some next -> go next 0
+    in
+    go leaf (leaf_lower_bound leaf lo)
+
+  let fold t ~init ~f =
+    let acc = ref init in
+    iter t (fun k v -> acc := f !acc k v);
+    !acc
+
+  let to_list t = List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))
+
+  let rec height_node = function
+    | Leaf _ -> 1
+    | Internal inode -> 1 + height_node inode.children.(0)
+
+  let height t = height_node t.root
+
+  let node_counts t =
+    let internal = ref 0 and leaves = ref 0 in
+    let rec go = function
+      | Leaf _ -> incr leaves
+      | Internal inode ->
+        incr internal;
+        for i = 0 to inode.ccount - 1 do
+          go inode.children.(i)
+        done
+    in
+    go t.root;
+    (!internal, !leaves)
+
+  (* --- invariants -------------------------------------------------- *)
+
+  let check_invariants t =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let depth = height t in
+    let count = ref 0 in
+    (* Checks that keys in the subtree fall in [lo, hi) and that leaf
+       depth is uniform. *)
+    let rec go node level lo hi =
+      let in_bounds k =
+        (match lo with None -> true | Some l -> K.compare l k <= 0)
+        && match hi with None -> true | Some h -> K.compare k h < 0
+      in
+      match node with
+      | Leaf leaf ->
+        if level <> depth then fail "leaf at depth %d, expected %d" level depth;
+        if node != t.root && leaf.lcount < min_leaf_keys t then
+          fail "leaf underflow: %d keys" leaf.lcount;
+        if leaf.lcount > t.branching then fail "leaf overflow: %d keys" leaf.lcount;
+        for i = 0 to leaf.lcount - 1 do
+          if not (in_bounds leaf.lkeys.(i)) then fail "leaf key out of bounds";
+          if i > 0 && K.compare leaf.lkeys.(i - 1) leaf.lkeys.(i) >= 0 then
+            fail "leaf keys not strictly increasing"
+        done;
+        count := !count + leaf.lcount
+      | Internal inode ->
+        if node != t.root && internal_underflows t inode then
+          fail "internal underflow: %d children" inode.ccount;
+        if inode.ccount > t.branching then
+          fail "internal overflow: %d children" inode.ccount;
+        if inode.ccount < 2 then fail "internal with %d children" inode.ccount;
+        for i = 0 to inode.ccount - 2 do
+          if not (in_bounds inode.ikeys.(i)) then fail "separator out of bounds";
+          if i > 0 && K.compare inode.ikeys.(i - 1) inode.ikeys.(i) >= 0 then
+            fail "separators not strictly increasing"
+        done;
+        for i = 0 to inode.ccount - 1 do
+          let clo = if i = 0 then lo else Some inode.ikeys.(i - 1) in
+          let chi = if i = inode.ccount - 1 then hi else Some inode.ikeys.(i) in
+          go inode.children.(i) (level + 1) clo chi
+        done
+    in
+    go t.root 1 None None;
+    if !count <> t.size then fail "size mismatch: counted %d, recorded %d" !count t.size;
+    (* The leaf chain must visit every key in order. *)
+    let chained = ref 0 in
+    iter t (fun _ _ -> incr chained);
+    if !chained <> t.size then fail "leaf chain visits %d of %d keys" !chained t.size
+end

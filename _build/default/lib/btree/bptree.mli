@@ -1,0 +1,66 @@
+(** In-memory B{^+}-trees.
+
+    Both halves of the paper's update log use B{^+}-trees: the SB-tree
+    maps segment identifiers to ER-tree nodes (§3.2) and the element
+    index maps [(tid, sid, start, end, level)] keys to element records
+    (§3.4).  This module provides a single generic implementation with
+    ordered iteration and range scans, which is what the structural
+    join algorithms need to enumerate the elements of one segment and
+    one tag.
+
+    Trees are mutable.  Duplicate keys are not stored: inserting an
+    existing key replaces its value. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (K : ORDERED) : sig
+  type 'v t
+
+  val create : ?branching:int -> unit -> 'v t
+  (** [create ~branching ()] makes an empty tree.  [branching] is the
+      maximum number of children of an internal node (and of keys in a
+      leaf); it defaults to 32 and must be at least 4. *)
+
+  val length : 'v t -> int
+  (** Number of stored bindings, in O(1). *)
+
+  val is_empty : 'v t -> bool
+
+  val insert : 'v t -> K.t -> 'v -> unit
+  (** [insert t k v] binds [k] to [v], replacing any previous binding. *)
+
+  val find : 'v t -> K.t -> 'v option
+  val mem : 'v t -> K.t -> bool
+
+  val remove : 'v t -> K.t -> bool
+  (** [remove t k] deletes the binding for [k]; [false] when absent. *)
+
+  val min_binding : 'v t -> (K.t * 'v) option
+  val max_binding : 'v t -> (K.t * 'v) option
+
+  val iter : 'v t -> (K.t -> 'v -> unit) -> unit
+  (** In-order traversal of all bindings. *)
+
+  val iter_from : 'v t -> K.t -> (K.t -> 'v -> bool) -> unit
+  (** [iter_from t lo f] applies [f] in key order to every binding with
+      key [>= lo], stopping as soon as [f] returns [false].  This is the
+      primitive behind prefix and range scans. *)
+
+  val fold : 'v t -> init:'a -> f:('a -> K.t -> 'v -> 'a) -> 'a
+
+  val to_list : 'v t -> (K.t * 'v) list
+
+  val height : 'v t -> int
+  (** Root-to-leaf depth; an empty tree has height 1 (a single leaf). *)
+
+  val node_counts : 'v t -> int * int
+  (** [(internal, leaf)] node counts, for space accounting. *)
+
+  val check_invariants : 'v t -> unit
+  (** Validates ordering, fanout bounds and uniform leaf depth.
+      @raise Failure describing the first violated invariant. *)
+end

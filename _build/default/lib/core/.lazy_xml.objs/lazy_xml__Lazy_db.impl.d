@@ -1,0 +1,1 @@
+lib/core/lazy_db.ml: Element_index Fun Interval Interval_store List Lxu_join Lxu_labeling Lxu_seglog String Update_log

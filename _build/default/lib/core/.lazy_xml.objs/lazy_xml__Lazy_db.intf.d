@@ -1,0 +1,1 @@
+lib/core/lazy_db.mli: Lxu_labeling Lxu_seglog

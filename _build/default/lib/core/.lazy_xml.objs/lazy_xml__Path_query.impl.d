@@ -1,0 +1,1 @@
+lib/core/path_query.ml: Array Element_index Er_node Int Interval Interval_store Lazy_db List Lxu_join Lxu_labeling Lxu_seglog Option Printf Set String Tag_list Tag_registry Update_log

@@ -1,0 +1,1 @@
+lib/core/path_query.mli: Lazy_db

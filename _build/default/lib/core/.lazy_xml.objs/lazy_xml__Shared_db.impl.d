@@ -1,0 +1,1 @@
+lib/core/shared_db.ml: Condition Fun Lazy_db Mutex Path_query

@@ -1,0 +1,1 @@
+lib/core/shared_db.mli: Lazy_db

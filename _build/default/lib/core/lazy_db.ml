@@ -1,0 +1,176 @@
+open Lxu_seglog
+open Lxu_labeling
+
+type engine = LD | LS | STD
+type axis = Descendant | Child
+
+type backend = Log of Update_log.t | Store of Interval_store.t
+
+type t = {
+  engine : engine;
+  mutable backend : backend;
+  pack_threshold : int option;
+}
+
+type query_stats = {
+  pair_count : int;
+  cross_pairs : int;
+  in_pairs : int;
+  segments_skipped : int;
+  elements_scanned : int;
+}
+
+let make_backend ~index_attributes = function
+  | LD -> Log (Update_log.create ~mode:Update_log.Lazy_dynamic ~index_attributes ())
+  | LS -> Log (Update_log.create ~mode:Update_log.Lazy_static ~index_attributes ())
+  | STD -> Store (Interval_store.create ~index_attributes ())
+
+let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold () =
+  (match pack_threshold with
+  | Some k when k < 1 -> invalid_arg "Lazy_db.create: pack_threshold < 1"
+  | _ -> ());
+  { engine; backend = make_backend ~index_attributes engine; pack_threshold }
+
+let engine t = t.engine
+
+(* Forward declaration for the auto-packing hook. *)
+let rec insert t ~gp text =
+  (match t.backend with
+  | Log log -> ignore (Update_log.insert log ~gp text)
+  | Store store -> Interval_store.insert store ~gp text);
+  maybe_pack t
+
+and remove t ~gp ~len =
+  (match t.backend with
+  | Log log -> Update_log.remove log ~gp ~len
+  | Store store -> Interval_store.remove store ~gp ~len);
+  maybe_pack t
+
+(* The paper's "maintenance hours" automated: past the threshold the
+   whole database is re-indexed as a single segment. *)
+and maybe_pack t =
+  match (t.pack_threshold, t.backend) with
+  | Some k, Log log when Update_log.segment_count log > k ->
+    let whole = Update_log.materialize log in
+    let fresh =
+      Update_log.create ~mode:(Update_log.mode log)
+        ~index_attributes:(Update_log.indexes_attributes log) ()
+    in
+    if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
+    t.backend <- Log fresh
+  | _ -> ()
+
+let doc_length t =
+  match t.backend with
+  | Log log -> Update_log.doc_length log
+  | Store store -> Interval_store.doc_length store
+
+let element_count t =
+  match t.backend with
+  | Log log -> Update_log.element_count log
+  | Store store -> Interval_store.element_count store
+
+let segment_count t =
+  match t.backend with Log log -> Update_log.segment_count log | Store _ -> 0
+
+let query t ?(axis = Descendant) ~anc ~desc () =
+  match t.backend with
+  | Log log ->
+    let jaxis = match axis with Descendant -> Lxu_join.Lazy_join.Descendant | Child -> Lxu_join.Lazy_join.Child in
+    let pairs, stats = Lxu_join.Lazy_join.run ~axis:jaxis log ~anc ~desc () in
+    let global = Lxu_join.Lazy_join.global_pairs log pairs in
+    ( global,
+      {
+        pair_count = List.length global;
+        cross_pairs = stats.Lxu_join.Lazy_join.cross_pairs;
+        in_pairs = stats.Lxu_join.Lazy_join.in_pairs;
+        segments_skipped = stats.Lxu_join.Lazy_join.segments_skipped;
+        elements_scanned = stats.Lxu_join.Lazy_join.elements_fetched;
+      } )
+  | Store store ->
+    let jaxis = match axis with Descendant -> Lxu_join.Stack_tree_desc.Descendant | Child -> Lxu_join.Stack_tree_desc.Child in
+    let a = Interval_store.elements store ~tag:anc in
+    let d = Interval_store.elements store ~tag:desc in
+    let pairs, stats = Lxu_join.Stack_tree_desc.join ~axis:jaxis ~anc:a ~desc:d () in
+    let global =
+      pairs
+      |> List.map (fun ((a : Interval.t), (d : Interval.t)) -> (a.Interval.start, d.Interval.start))
+      |> List.sort (fun (a1, d1) (a2, d2) -> compare (d1, a1) (d2, a2))
+    in
+    ( global,
+      {
+        pair_count = List.length global;
+        cross_pairs = 0;
+        in_pairs = List.length global;
+        segments_skipped = 0;
+        elements_scanned =
+          stats.Lxu_join.Stack_tree_desc.a_scanned + stats.Lxu_join.Stack_tree_desc.d_scanned;
+      } )
+
+(* Cardinality without the local->global translation of [query]: the
+   join itself produces label pairs; counting needs no conversion. *)
+let count t ?(axis = Descendant) ~anc ~desc () =
+  match t.backend with
+  | Log log ->
+    let jaxis = match axis with Descendant -> Lxu_join.Lazy_join.Descendant | Child -> Lxu_join.Lazy_join.Child in
+    let pairs, _ = Lxu_join.Lazy_join.run ~axis:jaxis log ~anc ~desc () in
+    List.length pairs
+  | Store store ->
+    let jaxis = match axis with Descendant -> Lxu_join.Stack_tree_desc.Descendant | Child -> Lxu_join.Stack_tree_desc.Child in
+    let a = Interval_store.elements store ~tag:anc in
+    let d = Interval_store.elements store ~tag:desc in
+    let _, stats = Lxu_join.Stack_tree_desc.join ~axis:jaxis ~anc:a ~desc:d () in
+    stats.Lxu_join.Stack_tree_desc.pairs
+
+let text t =
+  match t.backend with
+  | Log log -> Update_log.materialize log
+  | Store _ ->
+    invalid_arg "Lazy_db.text: the STD engine keeps labels only, not the document text"
+
+let rebuild t =
+  match t.backend with
+  | Store _ -> ()
+  | Log log ->
+    let whole = Update_log.materialize log in
+    let mode = Update_log.mode log in
+    let fresh = Update_log.create ~mode ~index_attributes:(Update_log.indexes_attributes log) () in
+    if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
+    t.backend <- Log fresh
+
+let pack_subtree t ~gp ~len =
+  match t.backend with
+  | Store _ -> ()
+  | Log log ->
+    let whole = Update_log.materialize log in
+    if gp < 0 || len <= 0 || gp + len > String.length whole then
+      invalid_arg "Lazy_db.pack_subtree: range out of bounds";
+    let slice = String.sub whole gp len in
+    Update_log.remove log ~gp ~len;
+    ignore (Update_log.insert log ~gp slice)
+
+let log t = match t.backend with Log log -> Some log | Store _ -> None
+let store t = match t.backend with Store s -> Some s | Log _ -> None
+
+let size_bytes t =
+  match t.backend with
+  | Log log -> Update_log.size_bytes log + Element_index.size_bytes (Update_log.element_index log)
+  | Store store -> Interval_store.element_count store * 3 * 8
+
+let check t =
+  match t.backend with
+  | Log log -> Update_log.check log
+  | Store store -> Interval_store.check store
+
+let save t path =
+  match t.backend with
+  | Store _ -> invalid_arg "Lazy_db.save: the STD engine keeps no reconstructible state"
+  | Log lg ->
+    let oc = open_out_bin path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Update_log.save lg oc)
+
+let load path =
+  let ic = open_in_bin path in
+  let lg = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Update_log.load ic) in
+  let engine = match Update_log.mode lg with Update_log.Lazy_dynamic -> LD | Update_log.Lazy_static -> LS in
+  { engine; backend = Log lg; pack_threshold = None }

@@ -1,0 +1,108 @@
+(** Lazy XML database — the paper's system behind one facade.
+
+    A database is a single {e super document} edited by inserting and
+    removing well-formed XML segments at byte positions, exactly the
+    text-editing model of §1.  Three engines implement the same
+    interface:
+
+    {ul
+    {- [LD] (lazy dynamic): the update log of §3 kept query-ready on
+       every update; queries run Lazy-Join (§4.2).}
+    {- [LS] (lazy static): updates maintain only the ER-tree; tag lists
+       are sorted and the SB-tree rebuilt at query time (§5.1).}
+    {- [STD] (traditional): global interval labels relabelled on every
+       update; queries run Stack-Tree-Desc — the baseline the paper
+       compares against.}}
+
+    Queries are single structural joins [anc//desc] or [anc/desc],
+    the primitive the paper (and the structural-join literature it
+    builds on) optimizes. *)
+
+type engine = LD | LS | STD
+type axis = Descendant | Child
+
+type t
+
+type query_stats = {
+  pair_count : int;
+  cross_pairs : int;  (** cross-segment pairs (0 for [STD]) *)
+  in_pairs : int;
+      (** in-segment pairs (every pair, for the segment-less [STD]) *)
+  segments_skipped : int;  (** SL_A segments pruned by Lazy-Join *)
+  elements_scanned : int;
+}
+
+val create :
+  ?engine:engine -> ?index_attributes:bool -> ?pack_threshold:int -> unit -> t
+(** An empty database; [engine] defaults to [LD].  With
+    [~index_attributes:true] attributes are indexed as subelements
+    named ["@name"] and can appear in queries (e.g. [~desc:"@id"]).
+    [pack_threshold] automates the paper's "maintenance hours": after
+    any update leaving more than that many segments, the database is
+    re-indexed as a single segment (ignored by [STD]).
+    @raise Invalid_argument if [pack_threshold < 1]. *)
+
+val engine : t -> engine
+
+val insert : t -> gp:int -> string -> unit
+(** Inserts a well-formed fragment at global byte position [gp].
+    @raise Invalid_argument on out-of-bounds positions or empty text.
+    @raise Lxu_xml.Parser.Parse_error on ill-formed text. *)
+
+val remove : t -> gp:int -> len:int -> unit
+(** Removes the byte range [gp, gp+len), which must be a well-formed
+    fragment of the current document. *)
+
+val query :
+  t -> ?axis:axis -> anc:string -> desc:string -> unit -> (int * int) list * query_stats
+(** [query t ~anc ~desc ()] evaluates [anc//desc] (or [anc/desc] with
+    [~axis:Child]) and returns [(anc_gstart, desc_gstart)] pairs sorted
+    by [(desc, anc)], plus evaluation statistics. *)
+
+val count : t -> ?axis:axis -> anc:string -> desc:string -> unit -> int
+(** Result cardinality of the join. *)
+
+val doc_length : t -> int
+val element_count : t -> int
+
+val segment_count : t -> int
+(** Live segments (always 1 after {!rebuild}; 0 for [STD] engines and
+    empty documents). *)
+
+val text : t -> string
+(** The full super-document text. *)
+
+val rebuild : t -> unit
+(** The "maintenance hours" operation of §1: re-indexes the whole
+    database as a single segment and clears the update log.  No-op for
+    [STD]. *)
+
+val pack_subtree : t -> gp:int -> len:int -> unit
+(** Segment packing (the future-work direction of §6): collapses every
+    segment overlapping the byte range [gp, gp+len) — which must be a
+    well-formed fragment — into a single segment, reducing the segment
+    count at the cost of re-indexing that range.  No-op for [STD]. *)
+
+val log : t -> Lxu_seglog.Update_log.t option
+(** The underlying update log ([None] for [STD]). *)
+
+val store : t -> Lxu_labeling.Interval_store.t option
+(** The underlying traditional store ([None] for lazy engines). *)
+
+val size_bytes : t -> int
+(** Footprint of the index structures (update log, or interval store). *)
+
+val check : t -> unit
+(** Full invariant check (test helper). *)
+
+val save : t -> string -> unit
+(** [save t path] writes a snapshot of a lazy-engine database —
+    segment structure, immutable local labels, tombstones — to [path].
+    @raise Invalid_argument for the [STD] engine, which keeps no
+    reconstructible state. *)
+
+val load : string -> t
+(** Restores a database saved with {!save}; queries, updates and local
+    labels behave exactly as before the save.
+    @raise Failure on a malformed snapshot.
+    @raise Sys_error if the file cannot be read. *)

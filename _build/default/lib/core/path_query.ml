@@ -1,0 +1,370 @@
+open Lxu_seglog
+open Lxu_labeling
+
+type axis = Desc | Child
+
+type step = { axis : axis; tag : string; predicates : t list }
+and t = step list
+
+type strategy = Pairwise | Holistic
+
+(* --- parsing --------------------------------------------------------- *)
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '-' || c = '.' || c = ':'
+
+exception Bad of string
+
+let parse input =
+  let n = String.length input in
+  (* Parses a path starting at [i]; inside a predicate parsing stops at
+     ']'.  Returns (steps, next position). *)
+  let rec path i ~in_pred acc =
+    if i >= n || (in_pred && input.[i] = ']') then (List.rev acc, i)
+    else begin
+      let axis, i =
+        if i + 1 < n && input.[i] = '/' && input.[i + 1] = '/' then (Desc, i + 2)
+        else if input.[i] = '/' then (Child, i + 1)
+        else (Desc, i) (* a bare tag means // *)
+      in
+      if i < n && input.[i] = '/' then raise (Bad "empty step");
+      (* An optional '@' selects attribute subelements. *)
+      let j = ref (if i < n && input.[i] = '@' then i + 1 else i) in
+      let name_start = !j in
+      while !j < n && is_name_char input.[!j] do
+        incr j
+      done;
+      if !j = name_start then
+        raise (Bad (Printf.sprintf "expected a tag name at offset %d" i));
+      let tag = String.sub input i (!j - i) in
+      let rec preds k acc_p =
+        if k < n && input.[k] = '[' then begin
+          let inner, k' = path (k + 1) ~in_pred:true [] in
+          if inner = [] then raise (Bad "empty predicate");
+          if k' >= n || input.[k'] <> ']' then raise (Bad "unclosed predicate");
+          preds (k' + 1) (inner :: acc_p)
+        end
+        else (List.rev acc_p, k)
+      in
+      let predicates, k = preds !j [] in
+      path k ~in_pred ({ axis; tag; predicates } :: acc)
+    end
+  in
+  if String.trim input = "" then Error "empty path expression"
+  else begin
+    match path 0 ~in_pred:false [] with
+    | [], _ -> Error "empty path expression"
+    | steps, k when k = n -> Ok steps
+    | _, k -> Error (Printf.sprintf "unexpected character at offset %d" k)
+    | exception Bad msg -> Error msg
+  end
+
+let parse_exn s =
+  match parse s with
+  | Ok t -> t
+  | Error msg -> invalid_arg (Printf.sprintf "Path_query.parse: %s" msg)
+
+let rec to_string t = String.concat "" (List.map step_to_string t)
+
+and step_to_string { axis; tag; predicates } =
+  (match axis with Desc -> "//" | Child -> "/")
+  ^ tag
+  ^ String.concat "" (List.map (fun p -> "[" ^ to_string p ^ "]") predicates)
+
+(* --- generic evaluation ------------------------------------------------
+
+   One evaluator shared by the lazy-log and interval-store engines,
+   parameterized by set operations over "elements of one tag":
+   - [all tag]                       every element of [tag]
+   - [roots_only tag set]            restrict to document-level elements
+   - [up axis ~anc ~desc set]        elements of tag [anc] related by
+                                     [axis] to a [desc]-element in [set]
+   - [down axis ~anc set ~desc]      elements of tag [desc] related by
+                                     [axis] to an [anc]-element in [set]
+   - [extents tag set]               global (start, stop) pairs, sorted *)
+
+type 'set ops = {
+  all : string -> 'set;
+  roots_only : string -> 'set -> 'set;
+  up : axis -> anc:string -> desc:string -> 'set -> 'set;
+  down : axis -> anc:string -> 'set -> desc:string -> 'set;
+  inter : 'set -> 'set -> 'set;
+  extents : string -> 'set -> (int * int) list;
+}
+
+(* Elements able to head predicate path [steps], with the suffix and
+   all nested predicates satisfied below them. *)
+let rec pred_head_set ops (steps : t) =
+  match steps with
+  | [] -> invalid_arg "Path_query: empty predicate"
+  | [ s ] -> apply_predicates ops ~tag:s.tag (ops.all s.tag) s.predicates
+  | s :: (next :: _ as rest) ->
+    let below = pred_head_set ops rest in
+    apply_predicates ops ~tag:s.tag
+      (ops.up next.axis ~anc:s.tag ~desc:next.tag below)
+      s.predicates
+
+(* Restrict [set] (elements of [tag]) to those satisfying every
+   predicate path. *)
+and apply_predicates ops ~tag set preds =
+  List.fold_left
+    (fun acc pred ->
+      match pred with
+      | [] -> acc
+      | first :: _ ->
+        let heads = pred_head_set ops pred in
+        ops.inter acc (ops.up first.axis ~anc:tag ~desc:first.tag heads))
+    set preds
+
+let eval_steps ops steps =
+  match steps with
+  | [] -> invalid_arg "Path_query.eval: empty path"
+  | first :: rest ->
+    let initial =
+      let s = ops.all first.tag in
+      let s = if first.axis = Child then ops.roots_only first.tag s else s in
+      apply_predicates ops ~tag:first.tag s first.predicates
+    in
+    let final_tag, final_set =
+      List.fold_left
+        (fun (prev_tag, survivors) step ->
+          let next = ops.down step.axis ~anc:prev_tag survivors ~desc:step.tag in
+          (step.tag, apply_predicates ops ~tag:step.tag next step.predicates))
+        (first.tag, initial) rest
+    in
+    ops.extents final_tag final_set
+
+(* --- lazy-log instantiation -------------------------------------------- *)
+
+module Ref_set = Set.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+let log_ops log =
+  let reg = Update_log.registry log in
+  let fold_tag tag f init =
+    match Tag_registry.find reg tag with
+    | None -> init
+    | Some tid ->
+      Array.fold_left
+        (fun acc (entry : Tag_list.entry) ->
+          Array.fold_left f acc (Update_log.elements_of log ~tid ~sid:entry.Tag_list.sid))
+        init
+        (Update_log.segments_for_tag log ~tag)
+  in
+  let ref_of (k : Element_index.key) = (k.Element_index.sid, k.Element_index.start) in
+  let jaxis = function
+    | Desc -> Lxu_join.Lazy_join.Descendant
+    | Child -> Lxu_join.Lazy_join.Child
+  in
+  let join axis ~anc ~desc =
+    fst (Lxu_join.Lazy_join.run ~axis:(jaxis axis) log ~anc ~desc ())
+  in
+  let key (r : Lxu_join.Lazy_join.elem_ref) =
+    (r.Lxu_join.Lazy_join.sid, r.Lxu_join.Lazy_join.start)
+  in
+  {
+    all = (fun tag -> fold_tag tag (fun acc k -> Ref_set.add (ref_of k) acc) Ref_set.empty);
+    roots_only =
+      (fun tag set ->
+        fold_tag tag
+          (fun acc k ->
+            if k.Element_index.level = 0 && Ref_set.mem (ref_of k) set then
+              Ref_set.add (ref_of k) acc
+            else acc)
+          Ref_set.empty);
+    up =
+      (fun axis ~anc ~desc set ->
+        List.fold_left
+          (fun acc { Lxu_join.Lazy_join.anc = a; desc = d } ->
+            if Ref_set.mem (key d) set then Ref_set.add (key a) acc else acc)
+          Ref_set.empty (join axis ~anc ~desc));
+    down =
+      (fun axis ~anc set ~desc ->
+        List.fold_left
+          (fun acc { Lxu_join.Lazy_join.anc = a; desc = d } ->
+            if Ref_set.mem (key a) set then Ref_set.add (key d) acc else acc)
+          Ref_set.empty (join axis ~anc ~desc));
+    inter = Ref_set.inter;
+    extents =
+      (fun tag set ->
+        fold_tag tag
+          (fun acc k ->
+            if Ref_set.mem (ref_of k) set then begin
+              let node = Update_log.node_of_sid log k.Element_index.sid in
+              let e =
+                {
+                  Er_node.start = k.Element_index.start;
+                  stop = k.Element_index.stop;
+                  level = k.Element_index.level;
+                  tid = k.Element_index.tid;
+                }
+              in
+              Er_node.global_extent node e :: acc
+            end
+            else acc)
+          []
+        |> List.sort compare);
+  }
+
+(* --- interval-store instantiation --------------------------------------- *)
+
+module Int_set = Set.Make (Int)
+
+let store_ops store =
+  let elements tag = Interval_store.elements store ~tag in
+  let jaxis = function
+    | Desc -> Lxu_join.Stack_tree_desc.Descendant
+    | Child -> Lxu_join.Stack_tree_desc.Child
+  in
+  let join axis ~anc ~desc =
+    fst (Lxu_join.Stack_tree_desc.join ~axis:(jaxis axis) ~anc:(elements anc) ~desc:(elements desc) ())
+  in
+  {
+    all =
+      (fun tag ->
+        Array.fold_left
+          (fun acc (l : Interval.t) -> Int_set.add l.Interval.start acc)
+          Int_set.empty (elements tag));
+    roots_only =
+      (fun tag set ->
+        Array.fold_left
+          (fun acc (l : Interval.t) ->
+            if l.Interval.level = 0 && Int_set.mem l.Interval.start set then
+              Int_set.add l.Interval.start acc
+            else acc)
+          Int_set.empty (elements tag));
+    up =
+      (fun axis ~anc ~desc set ->
+        List.fold_left
+          (fun acc ((a : Interval.t), (d : Interval.t)) ->
+            if Int_set.mem d.Interval.start set then Int_set.add a.Interval.start acc
+            else acc)
+          Int_set.empty (join axis ~anc ~desc));
+    down =
+      (fun axis ~anc set ~desc ->
+        List.fold_left
+          (fun acc ((a : Interval.t), (d : Interval.t)) ->
+            if Int_set.mem a.Interval.start set then Int_set.add d.Interval.start acc
+            else acc)
+          Int_set.empty (join axis ~anc ~desc));
+    inter = Int_set.inter;
+    extents =
+      (fun tag set ->
+        Array.to_list (elements tag)
+        |> List.filter_map (fun (l : Interval.t) ->
+               if Int_set.mem l.Interval.start set then
+                 Some (l.Interval.start, l.Interval.stop)
+               else None)
+        |> List.sort compare);
+  }
+
+(* --- holistic evaluation (PathStack; predicate-free paths only) --------- *)
+
+let rec has_predicates steps =
+  List.exists (fun s -> s.predicates <> [] || List.exists has_predicates s.predicates) steps
+
+(* Builds a TwigStack query from a predicate path: the spine is a
+   chain whose last node is the output; predicates hang off their
+   step as extra branches. *)
+let twig_of_steps log steps =
+  let next_id = ref 0 in
+  let stream_of tag = Lxu_join.Std_baseline.global_list log ~tag in
+  let edge_of = function Desc -> Lxu_join.Twig_stack.Desc | Child -> Lxu_join.Twig_stack.Child in
+  let rec pred_chain (ps : t) =
+    match ps with
+    | [] -> []
+    | s :: rest ->
+      let qid = !next_id in
+      incr next_id;
+      let pred_kids = List.concat_map pred_chain (List.map (fun p -> p) s.predicates) in
+      let deeper = pred_chain rest in
+      [ { Lxu_join.Twig_stack.qid; stream = stream_of s.tag; edge = edge_of s.axis;
+          children = pred_kids @ deeper } ]
+  in
+  let rec spine (ss : t) =
+    match ss with
+    | [] -> invalid_arg "Path_query: empty path"
+    | [ s ] ->
+      let qid = !next_id in
+      incr next_id;
+      let kids = List.concat_map pred_chain s.predicates in
+      ({ Lxu_join.Twig_stack.qid; stream = stream_of s.tag; edge = edge_of s.axis;
+         children = kids }, qid)
+    | s :: rest ->
+      let qid = !next_id in
+      incr next_id;
+      let kids = List.concat_map pred_chain s.predicates in
+      let deeper, out = spine rest in
+      ({ Lxu_join.Twig_stack.qid; stream = stream_of s.tag; edge = edge_of s.axis;
+         children = kids @ [ deeper ] }, out)
+  in
+  spine steps
+
+let eval_log_twig log steps =
+  let root, out_qid =
+    match steps with
+    | first :: _ when first.axis = Child ->
+      (* Restrict the first stream to document roots. *)
+      let root, out = twig_of_steps log steps in
+      let stream =
+        Array.of_list
+          (List.filter (fun (l : Interval.t) -> l.Interval.level = 0)
+             (Array.to_list root.Lxu_join.Twig_stack.stream))
+      in
+      ({ root with Lxu_join.Twig_stack.stream }, out)
+    | _ -> twig_of_steps log steps
+  in
+  Lxu_join.Twig_stack.matches root
+  |> List.map (fun row ->
+         let iv = row.(out_qid) in
+         (iv.Interval.start, iv.Interval.stop))
+  |> List.sort_uniq compare
+
+let eval_log_holistic log steps =
+  let steps_a = Array.of_list steps in
+  let streams =
+    Array.map (fun { tag; _ } -> Lxu_join.Std_baseline.global_list log ~tag) steps_a
+  in
+  (match steps_a.(0).axis with
+  | Child ->
+    streams.(0) <-
+      Array.of_list
+        (List.filter
+           (fun (l : Interval.t) -> l.Interval.level = 0)
+           (Array.to_list streams.(0)))
+  | Desc -> ());
+  let edges =
+    Array.init
+      (Array.length steps_a - 1)
+      (fun i ->
+        match steps_a.(i + 1).axis with
+        | Desc -> Lxu_join.Path_stack.Desc
+        | Child -> Lxu_join.Path_stack.Child)
+  in
+  Lxu_join.Path_stack.leaves ~streams ~edges
+  |> List.map (fun (l : Interval.t) -> (l.Interval.start, l.Interval.stop))
+  |> List.sort compare
+
+let eval ?(strategy = Pairwise) db steps =
+  if steps = [] then invalid_arg "Path_query.eval: empty path";
+  match (Lazy_db.log db, strategy) with
+  | Some log, Holistic when not (has_predicates steps) ->
+    Update_log.prepare_for_query log;
+    eval_log_holistic log steps
+  | Some log, Holistic ->
+    (* Predicate paths are branching twigs: TwigStack. *)
+    Update_log.prepare_for_query log;
+    eval_log_twig log steps
+  | Some log, Pairwise ->
+    Update_log.prepare_for_query log;
+    eval_steps (log_ops log) steps
+  | None, _ -> eval_steps (store_ops (Option.get (Lazy_db.store db))) steps
+
+let eval_string ?strategy db s = eval ?strategy db (parse_exn s)
+let count ?strategy db s = List.length (eval_string ?strategy db s)

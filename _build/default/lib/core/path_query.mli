@@ -1,0 +1,60 @@
+(** Path expressions over the lazy database.
+
+    The paper's positioning (§1): structural-join results "are later
+    used to evaluate other path query expressions".  This module does
+    exactly that — it parses a linear XPath subset and evaluates it as
+    a left-to-right composition of structural joins, each step
+    semi-joining the previous step's matches with the next tag.
+
+    Grammar: [('/' | '//') tag pred* ( ('/' | '//') tag pred* )*] with
+    [pred ::= '\[' path '\]']; a leading tag without an axis means
+    [//tag], and inside a predicate it means "descendant of the current
+    element".  Examples: ["//person//watch"],
+    ["/site/people/person\[profile//interest\]/name"],
+    ["person\[watches/watch\]\[@id\]"].
+
+    Two evaluation strategies:
+    {ul
+    {- [Pairwise] (default): one segment-aware Lazy-Join per step on
+       lazy engines (Stack-Tree-Desc on the [STD] engine), filtering
+       each join's pairs by the surviving ancestor set.}
+    {- [Holistic]: one holistic pass over the translated global
+       element lists — PathStack for linear paths, TwigStack for paths
+       with predicates (the two algorithms of §2's [2]).  Falls back
+       to [Pairwise] on the [STD] engine.}}
+
+    Both return the {e final-step matches}: distinct elements of the
+    last tag reachable through the whole path, as global
+    [(start, stop)] extents in document order. *)
+
+type axis = Desc | Child
+
+type step = { axis : axis; tag : string; predicates : t list }
+(** A step with optional existential twig predicates: in
+    [person\[profile//interest\]/name], the [person] step carries the
+    predicate path [profile//interest]; an element survives the step
+    only if every predicate has at least one match below it.  A
+    predicate path's leading axis is relative to the step's element
+    ([\[b\]] means "has a b descendant", [\[/b\]] "has a b child"). *)
+
+and t = step list
+
+type strategy = Pairwise | Holistic
+
+val parse : string -> (t, string) result
+(** @return [Error _] on empty input or malformed syntax. *)
+
+val parse_exn : string -> t
+
+val to_string : t -> string
+
+val eval : ?strategy:strategy -> Lazy_db.t -> t -> (int * int) list
+(** Matches of the final step, sorted by start position.  The
+    [Holistic] strategy requires a lazy engine ([LD]/[LS]); on [STD]
+    it falls back to [Pairwise].
+    @raise Invalid_argument on an empty path. *)
+
+val eval_string : ?strategy:strategy -> Lazy_db.t -> string -> (int * int) list
+(** [parse] + [eval]. @raise Invalid_argument on a syntax error. *)
+
+val count : ?strategy:strategy -> Lazy_db.t -> string -> int

@@ -1,0 +1,74 @@
+type t = {
+  db : Lazy_db.t;
+  lock : Mutex.t;
+  can_read : Condition.t;
+  can_write : Condition.t;
+  mutable active_readers : int;
+  mutable writer_active : bool;
+  mutable writers_waiting : int;
+  mutable reads_done : int;
+  mutable writes_done : int;
+}
+
+let create ?(engine = Lazy_db.LD) ?index_attributes () =
+  if engine = Lazy_db.LS then
+    invalid_arg "Shared_db.create: LS queries mutate the log; use LD";
+  {
+    db = Lazy_db.create ~engine ?index_attributes ();
+    lock = Mutex.create ();
+    can_read = Condition.create ();
+    can_write = Condition.create ();
+    active_readers = 0;
+    writer_active = false;
+    writers_waiting = 0;
+    reads_done = 0;
+    writes_done = 0;
+  }
+
+let read t f =
+  Mutex.lock t.lock;
+  (* Writer preference: an arriving reader also yields to queued
+     writers. *)
+  while t.writer_active || t.writers_waiting > 0 do
+    Condition.wait t.can_read t.lock
+  done;
+  t.active_readers <- t.active_readers + 1;
+  Mutex.unlock t.lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.lock;
+      t.active_readers <- t.active_readers - 1;
+      t.reads_done <- t.reads_done + 1;
+      if t.active_readers = 0 then Condition.signal t.can_write;
+      Mutex.unlock t.lock)
+    (fun () -> f t.db)
+
+let write t f =
+  Mutex.lock t.lock;
+  t.writers_waiting <- t.writers_waiting + 1;
+  while t.writer_active || t.active_readers > 0 do
+    Condition.wait t.can_write t.lock
+  done;
+  t.writers_waiting <- t.writers_waiting - 1;
+  t.writer_active <- true;
+  Mutex.unlock t.lock;
+  Fun.protect
+    ~finally:(fun () ->
+      Mutex.lock t.lock;
+      t.writer_active <- false;
+      t.writes_done <- t.writes_done + 1;
+      if t.writers_waiting > 0 then Condition.signal t.can_write
+      else Condition.broadcast t.can_read;
+      Mutex.unlock t.lock)
+    (fun () -> f t.db)
+
+let insert t ~gp text = write t (fun db -> Lazy_db.insert db ~gp text)
+let remove t ~gp ~len = write t (fun db -> Lazy_db.remove db ~gp ~len)
+let count t ?axis ~anc ~desc () = read t (fun db -> Lazy_db.count db ?axis ~anc ~desc ())
+let path_count t path = read t (fun db -> Path_query.count db path)
+
+let stats t =
+  Mutex.lock t.lock;
+  let r = (t.reads_done, t.writes_done) in
+  Mutex.unlock t.lock;
+  r

@@ -1,0 +1,43 @@
+(** Concurrent access to a lazy XML database — the concurrency
+    direction the paper leaves as future work (§6).
+
+    A classic reader–writer discipline over {!Lazy_db}: any number of
+    concurrent queries, updates exclusive, writers preferred so a
+    steady query stream cannot starve the update feed.  The natural
+    fit for the lazy scheme: updates are already tiny (that is the
+    paper's point), so the write lock is held briefly even for large
+    segment insertions.
+
+    Engines: [LD] (queries are read-only once the log is maintained)
+    and [STD].  [LS] is rejected — its deferred sorting makes the
+    first query after an update a writer, defeating shared reads.
+
+    Cost counters inside the database (index accesses, path ops) are
+    updated without synchronization by concurrent readers and may
+    undercount; they are diagnostics, not results. *)
+
+type t
+
+val create : ?engine:Lazy_db.engine -> ?index_attributes:bool -> unit -> t
+(** @raise Invalid_argument for the [LS] engine. *)
+
+val insert : t -> gp:int -> string -> unit
+(** Exclusive update. *)
+
+val remove : t -> gp:int -> len:int -> unit
+(** Exclusive update. *)
+
+val count : t -> ?axis:Lazy_db.axis -> anc:string -> desc:string -> unit -> int
+(** Shared query. *)
+
+val path_count : t -> string -> int
+(** Shared path-expression query. *)
+
+val read : t -> (Lazy_db.t -> 'a) -> 'a
+(** Runs [f] under the read lock.  [f] must not update the database. *)
+
+val write : t -> (Lazy_db.t -> 'a) -> 'a
+(** Runs [f] under the write lock. *)
+
+val stats : t -> int * int
+(** [(reads_completed, writes_completed)]. *)

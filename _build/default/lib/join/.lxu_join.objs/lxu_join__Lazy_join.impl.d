@@ -1,0 +1,1 @@
+lib/join/lazy_join.ml: Array Element_index Er_node Lazy List Lxu_seglog Lxu_util Tag_list Tag_registry Update_log Vec

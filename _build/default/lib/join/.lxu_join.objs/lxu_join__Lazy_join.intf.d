@@ -1,0 +1,1 @@
+lib/join/lazy_join.mli: Lxu_seglog

@@ -1,0 +1,1 @@
+lib/join/mpmgjn.ml: Array Interval List Lxu_labeling Stack_tree_desc

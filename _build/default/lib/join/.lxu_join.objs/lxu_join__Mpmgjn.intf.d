@@ -1,0 +1,1 @@
+lib/join/mpmgjn.mli: Lxu_labeling Stack_tree_desc

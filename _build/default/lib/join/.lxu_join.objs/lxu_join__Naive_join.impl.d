@@ -1,0 +1,1 @@
+lib/join/naive_join.ml: List Stack_tree_desc

@@ -1,0 +1,1 @@
+lib/join/naive_join.mli: Stack_tree_desc

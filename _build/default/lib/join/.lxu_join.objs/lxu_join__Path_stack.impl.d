@@ -1,0 +1,1 @@
+lib/join/path_stack.ml: Array Interval List Lxu_labeling Lxu_util Vec

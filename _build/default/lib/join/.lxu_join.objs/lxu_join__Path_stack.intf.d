@@ -1,0 +1,1 @@
+lib/join/path_stack.mli: Lxu_labeling

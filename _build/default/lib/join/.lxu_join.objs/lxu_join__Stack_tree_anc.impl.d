@@ -1,0 +1,1 @@
+lib/join/stack_tree_anc.ml: Array Interval List Lxu_labeling Stack_tree_desc

@@ -1,0 +1,1 @@
+lib/join/stack_tree_anc.mli: Lxu_labeling Stack_tree_desc

@@ -1,0 +1,1 @@
+lib/join/stack_tree_desc.ml: Array Interval List Lxu_labeling

@@ -1,0 +1,1 @@
+lib/join/stack_tree_desc.mli: Lxu_labeling

@@ -1,0 +1,1 @@
+lib/join/std_baseline.ml: Array Element_index Er_node Interval Lxu_labeling Lxu_seglog Stack_tree_desc Tag_list Tag_registry Update_log

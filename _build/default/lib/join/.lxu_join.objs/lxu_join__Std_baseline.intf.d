@@ -1,0 +1,1 @@
+lib/join/std_baseline.mli: Lxu_labeling Lxu_seglog Stack_tree_desc

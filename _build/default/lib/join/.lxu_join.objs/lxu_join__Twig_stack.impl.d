@@ -1,0 +1,1 @@
+lib/join/twig_stack.ml: Array Hashtbl Interval List Lxu_labeling Lxu_util Path_stack Vec

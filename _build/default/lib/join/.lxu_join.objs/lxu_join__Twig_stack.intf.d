@@ -1,0 +1,1 @@
+lib/join/twig_stack.mli: Lxu_labeling Path_stack

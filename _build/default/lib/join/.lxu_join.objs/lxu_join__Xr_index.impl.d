@@ -1,0 +1,1 @@
+lib/join/xr_index.ml: Array Interval List Lxu_labeling

@@ -1,0 +1,1 @@
+lib/join/xr_index.mli: Lxu_labeling

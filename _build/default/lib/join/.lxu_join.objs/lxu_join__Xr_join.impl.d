@@ -1,0 +1,1 @@
+lib/join/xr_join.ml: Interval List Lxu_labeling Stack_tree_desc Xr_index

@@ -1,0 +1,213 @@
+open Lxu_util
+open Lxu_seglog
+
+type axis = Descendant | Child
+
+type elem_ref = { sid : int; start : int; stop : int; level : int }
+type pair = { anc : elem_ref; desc : elem_ref }
+
+type stats = {
+  mutable a_segments : int;
+  mutable d_segments : int;
+  mutable segments_pushed : int;
+  mutable segments_skipped : int;
+  mutable in_segment_joins : int;
+  mutable cross_pairs : int;
+  mutable in_pairs : int;
+  mutable elements_fetched : int;
+}
+
+type frame = {
+  node : Er_node.t;
+  depth : int;  (* ER-tree depth: index of [node.sid] in any descendant's path *)
+  mutable elems : elem_ref list;  (* candidate A-elements, by start *)
+}
+
+let contains_seg (a : Er_node.t) (d : Er_node.t) =
+  a.Er_node.gp < d.Er_node.gp && a.Er_node.gp + a.Er_node.len > d.Er_node.gp + d.Er_node.len
+
+let seg_depth (n : Er_node.t) =
+  let rec up acc = function None -> acc | Some p -> up (acc + 1) p.Er_node.parent in
+  up 0 n.Er_node.parent
+
+(* Local position, within the frame's segment, of the child segment on
+   the path to the segment whose tag-list [path] is given (P_T^S of
+   §4.1).  Paths are root chains, so the frame's sid sits at index
+   [frame.depth] of every descendant's path — an O(1) lookup the paper
+   sketches as "computed after each push and stored". *)
+let p_of_frame log fr (path : int array) =
+  let i = fr.depth in
+  if i + 1 >= Array.length path || path.(i) <> fr.node.Er_node.sid then raise Not_found
+  else (Update_log.node_of_sid log path.(i + 1)).Er_node.lp
+
+(* Stack-Tree-Desc specialized to elem_ref arrays of one segment
+   (virtual local labels), emitting pairs through [emit].  Avoids any
+   conversion to and from interval records on the hot output path. *)
+let in_segment_join ~axis ~anc ~desc ~emit =
+  let n_a = Array.length anc and n_d = Array.length desc in
+  let stack = ref [] in
+  let ia = ref 0 and id = ref 0 in
+  while !id < n_d && (!ia < n_a || !stack <> []) do
+    let d = desc.(!id) in
+    let a_start = if !ia < n_a then anc.(!ia).start else max_int in
+    if a_start < d.start then begin
+      let a = anc.(!ia) in
+      while (match !stack with top :: _ -> top.stop <= a.start | [] -> false) do
+        stack := List.tl !stack
+      done;
+      stack := a :: !stack;
+      incr ia
+    end
+    else begin
+      while (match !stack with top :: _ -> top.stop <= d.start | [] -> false) do
+        stack := List.tl !stack
+      done;
+      List.iter
+        (fun a ->
+          match axis with
+          | Descendant -> emit a d
+          | Child -> if d.level = a.level + 1 then emit a d)
+        !stack;
+      incr id
+    end
+  done
+
+let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) log ~anc ~desc () =
+  let stats =
+    {
+      a_segments = 0;
+      d_segments = 0;
+      segments_pushed = 0;
+      segments_skipped = 0;
+      in_segment_joins = 0;
+      cross_pairs = 0;
+      in_pairs = 0;
+      elements_fetched = 0;
+    }
+  in
+  Update_log.prepare_for_query log;
+  let reg = Update_log.registry log in
+  match (Tag_registry.find reg anc, Tag_registry.find reg desc) with
+  | None, _ | _, None -> ([], stats)
+  | Some tid_a, Some tid_d ->
+    let sla = Update_log.segments_for_tag log ~tag:anc in
+    let sld = Update_log.segments_for_tag log ~tag:desc in
+    let out = ref [] in
+    let stack = ref [] in
+    let ia = ref 0 and id = ref 0 in
+    (* Elements of one tag in one segment, converted to refs once; the
+       refs are then shared by every emitted pair. *)
+    let fetch tid sid =
+      let keys = Update_log.elements_of log ~tid ~sid in
+      stats.elements_fetched <- stats.elements_fetched + Array.length keys;
+      Array.map
+        (fun (k : Element_index.key) ->
+          {
+            sid = k.Element_index.sid;
+            start = k.Element_index.start;
+            stop = k.Element_index.stop;
+            level = k.Element_index.level;
+          })
+        keys
+    in
+    while !id < Array.length sld && (!ia < Array.length sla || !stack <> []) do
+      let sd_entry = sld.(!id) in
+      let sd_node = Update_log.node_of_sid log sd_entry.Tag_list.sid in
+      match !stack with
+      | top :: rest
+        when sd_node.Er_node.gp > top.node.Er_node.gp + top.node.Er_node.len ->
+        (* Step 1: the top segment cannot contain sd nor any later
+           segment of SL_D. *)
+        stack := rest
+      | _ ->
+        let sa_node =
+          if !ia < Array.length sla then
+            Some (Update_log.node_of_sid log sla.(!ia).Tag_list.sid)
+          else None
+        in
+        (match sa_node with
+        | Some sa when sa.Er_node.gp < sd_node.Er_node.gp ->
+          (* Step 2: push sa if it contains sd, else skip it forever
+             (segments nest as a tree, so not containing means
+             disjoint from everything at or after sd). *)
+          stats.a_segments <- stats.a_segments + 1;
+          if contains_seg sa sd_node then begin
+            (* Optimization (i): keep only A-elements that contain at
+               least one child-segment position. *)
+            let keep (r : elem_ref) =
+              (not push_filter)
+              || Vec.exists
+                   (fun (c : Er_node.t) -> r.start < c.Er_node.lp && c.Er_node.lp < r.stop)
+                   sa.Er_node.children
+            in
+            let elems = Array.to_list (fetch tid_a sa.Er_node.sid) |> List.filter keep in
+            (* Optimization (ii): drop from the current top the
+               elements that end at or before the position of sa —
+               they cannot contain sa or any later segment. *)
+            (match !stack with
+            | top :: _ when trim_top -> begin
+              match p_of_frame log top (Er_node.path sa) with
+              | p -> top.elems <- List.filter (fun (r : elem_ref) -> r.stop > p) top.elems
+              | exception Not_found -> ()
+            end
+            | _ -> ());
+            stack := { node = sa; depth = seg_depth sa; elems } :: !stack;
+            stats.segments_pushed <- stats.segments_pushed + 1
+          end
+          else stats.segments_skipped <- stats.segments_skipped + 1;
+          incr ia
+        | _ ->
+          (* Step 3: join generation for sd. *)
+          let d_elems = lazy (fetch tid_d sd_node.Er_node.sid) in
+          List.iter
+            (fun fr ->
+              (* Parent-child pairs across segments are decided by the
+                 absolute-level check below: with multi-rooted
+                 fragments an intermediate segment can contribute zero
+                 element depth, so (unlike the single-rooted case of
+                 §4.2) they are not confined to the direct parent
+                 segment. *)
+              match p_of_frame log fr sd_entry.Tag_list.path with
+              | exception Not_found -> ()
+              | p ->
+                List.iter
+                  (fun (a : elem_ref) ->
+                    if a.start < p && a.stop > p then
+                      Array.iter
+                        (fun (d : elem_ref) ->
+                          let level_ok =
+                            match axis with
+                            | Descendant -> true
+                            | Child -> d.level = a.level + 1
+                          in
+                          if level_ok then begin
+                            out := { anc = a; desc = d } :: !out;
+                            stats.cross_pairs <- stats.cross_pairs + 1
+                          end)
+                        (Lazy.force d_elems))
+                  fr.elems)
+            !stack;
+          (* In-segment joins when the same segment holds both tags. *)
+          (match sa_node with
+          | Some sa when sa.Er_node.sid = sd_node.Er_node.sid ->
+            stats.in_segment_joins <- stats.in_segment_joins + 1;
+            let a_elems = fetch tid_a sa.Er_node.sid in
+            in_segment_join ~axis ~anc:a_elems ~desc:(Lazy.force d_elems)
+              ~emit:(fun a d ->
+                out := { anc = a; desc = d } :: !out;
+                stats.in_pairs <- stats.in_pairs + 1)
+          | _ -> ());
+          stats.d_segments <- stats.d_segments + 1;
+          incr id)
+    done;
+    (List.rev !out, stats)
+
+let global_pairs log pairs =
+  let gstart (r : elem_ref) =
+    let node = Update_log.node_of_sid log r.sid in
+    let e = { Er_node.start = r.start; stop = r.stop; level = r.level; tid = 0 } in
+    fst (Er_node.global_extent node e)
+  in
+  pairs
+  |> List.map (fun { anc; desc } -> (gstart anc, gstart desc))
+  |> List.sort (fun (a1, d1) (a2, d2) -> compare (d1, a1) (d2, a2))

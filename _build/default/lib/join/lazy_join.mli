@@ -1,0 +1,62 @@
+(** Lazy-Join (§4.2, Figure 9): the segment-aware structural join.
+
+    Merges the two tag-list segment lists ([SL_A], [SL_D]) by global
+    position with a stack of ancestor segments.  Cross-segment joins
+    use Proposition 3: an A-element joins every D-element of a
+    descendant segment iff it strictly contains the local position of
+    the stack segment's child on the path to that segment — so whole
+    segments (and whole element sets) are skipped or bulk-emitted
+    without per-element comparisons.  In-segment joins fall back to
+    Stack-Tree-Desc on the segment's immutable virtual labels.
+
+    Both Figure 9 optimizations are applied: only A-elements containing
+    at least one child segment are pushed, and on each push the top
+    frame drops elements that end before the pushed segment starts.
+
+    Under a [Lazy_static] log the pre-query sorting cost is incurred
+    here (the run calls {!Lxu_seglog.Update_log.prepare_for_query}),
+    matching the paper's LS accounting. *)
+
+type axis = Descendant | Child
+
+type elem_ref = { sid : int; start : int; stop : int; level : int }
+(** An element as (segment, virtual extent, absolute level). *)
+
+type pair = { anc : elem_ref; desc : elem_ref }
+
+type stats = {
+  mutable a_segments : int;  (** SL_A entries consumed *)
+  mutable d_segments : int;  (** SL_D entries consumed *)
+  mutable segments_pushed : int;
+  mutable segments_skipped : int;
+      (** SL_A segments discarded without element access *)
+  mutable in_segment_joins : int;  (** segment pairs joined in-segment *)
+  mutable cross_pairs : int;
+  mutable in_pairs : int;
+  mutable elements_fetched : int;  (** element-index records read *)
+}
+
+val run :
+  ?axis:axis ->
+  ?push_filter:bool ->
+  ?trim_top:bool ->
+  Lxu_seglog.Update_log.t ->
+  anc:string ->
+  desc:string ->
+  unit ->
+  pair list * stats
+(** [run log ~anc ~desc ()] evaluates the path expression
+    [anc//desc] (or [anc/desc] with [~axis:Child]), returning pairs
+    ordered by descendant segment.
+
+    [push_filter] (default on) is Figure 9's optimization (i): push
+    only A-elements containing at least one child segment.  [trim_top]
+    (default on) is optimization (ii): on each push, drop from the top
+    frame the elements ending before the pushed segment.  Both flags
+    exist for the ablation benchmark; disabling them changes cost, not
+    results. *)
+
+val global_pairs : Lxu_seglog.Update_log.t -> pair list -> (int * int) list
+(** Translates pairs to [(anc_gstart, desc_gstart)] global positions,
+    sorted by [(desc, anc)] — the canonical form for comparing against
+    the classical algorithms. *)

@@ -1,0 +1,102 @@
+open Lxu_util
+open Lxu_labeling
+
+type edge = Desc | Child
+
+type entry = { iv : Interval.t; ptr : int }
+(* [ptr] is the index of the top of the stack below at push time; every
+   entry at or below [ptr] there contained this element when it was
+   pushed, and index prefixes are stable (pops above a surviving entry
+   never reach below it). *)
+
+let validate ~streams ~edges =
+  let n = Array.length streams in
+  if n = 0 then invalid_arg "Path_stack: empty pattern";
+  if Array.length edges <> n - 1 then invalid_arg "Path_stack: edges/streams mismatch"
+
+(* Enumerates, bottom-up, the partial chains ending at [entry] of
+   stack [i], calling [f] with the chosen elements for query nodes
+   0..i (index 0 first). *)
+let rec expand stacks edges i entry acc f =
+  if i = 0 then f (entry.iv :: acc)
+  else
+    for j = 0 to entry.ptr do
+      let parent = Vec.get stacks.(i - 1) j in
+      let edge_ok =
+        match edges.(i - 1) with
+        | Desc -> true
+        | Child -> entry.iv.Interval.level = parent.iv.Interval.level + 1
+      in
+      if edge_ok then expand stacks edges (i - 1) parent (entry.iv :: acc) f
+    done
+
+exception Found
+
+let chain_exists stacks edges i entry =
+  match expand stacks edges i entry [] (fun _ -> raise Found) with
+  | () -> false
+  | exception Found -> true
+
+let run ~streams ~edges ~on_leaf =
+  validate ~streams ~edges;
+  let n = Array.length streams in
+  let stacks = Array.init n (fun _ -> Vec.create ()) in
+  let cursors = Array.make n 0 in
+  let exhausted i = cursors.(i) >= Array.length streams.(i) in
+  let continue_ = ref true in
+  while (not (exhausted (n - 1))) && !continue_ do
+    (* The stream whose next element starts first. *)
+    let qmin = ref (-1) in
+    for i = 0 to n - 1 do
+      if not (exhausted i) then begin
+        let s = streams.(i).(cursors.(i)).Interval.start in
+        if !qmin < 0 || s < streams.(!qmin).(cursors.(!qmin)).Interval.start then qmin := i
+      end
+    done;
+    if !qmin < 0 then continue_ := false
+    else begin
+      let q = !qmin in
+      let t = streams.(q).(cursors.(q)) in
+      (* Clean: entries ending before [t] can contain neither it nor
+         anything later. *)
+      Array.iter
+        (fun st ->
+          while Vec.length st > 0 && (Vec.last st).iv.Interval.stop <= t.Interval.start do
+            ignore (Vec.pop st)
+          done)
+        stacks;
+      if q = 0 || Vec.length stacks.(q - 1) > 0 then begin
+        let entry = { iv = t; ptr = (if q = 0 then -1 else Vec.length stacks.(q - 1) - 1) } in
+        if q = n - 1 then on_leaf stacks entry
+        else Vec.push stacks.(q) entry
+      end;
+      cursors.(q) <- cursors.(q) + 1
+    end
+  done;
+  stacks
+
+let matches ~streams ~edges =
+  let acc = ref [] in
+  let _ =
+    run ~streams ~edges ~on_leaf:(fun stacks entry ->
+        expand stacks edges (Array.length streams - 1) entry [] (fun chain ->
+            acc := Array.of_list chain :: !acc))
+  in
+  List.rev !acc
+
+let count ~streams ~edges =
+  let n = ref 0 in
+  let _ =
+    run ~streams ~edges ~on_leaf:(fun stacks entry ->
+        expand stacks edges (Array.length streams - 1) entry [] (fun _ -> incr n))
+  in
+  !n
+
+let leaves ~streams ~edges =
+  let acc = ref [] in
+  let _ =
+    run ~streams ~edges ~on_leaf:(fun stacks entry ->
+        if chain_exists stacks edges (Array.length streams - 1) entry then
+          acc := entry.iv :: !acc)
+  in
+  List.rev !acc

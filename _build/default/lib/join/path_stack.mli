@@ -1,0 +1,32 @@
+(** PathStack (Bruno, Koudas, Srivastava — SIGMOD 2002): holistic
+    evaluation of a linear path pattern [q1 // q2 // … // qn] over
+    interval-labelled element lists, without materializing the
+    intermediate binary-join results (§2's [2]).
+
+    One sorted stream and one stack per query node; a stream element is
+    pushed only when its parent stack is non-empty, and stacks encode
+    all partial solutions compactly.  Parent-child edges are verified
+    with the level test during expansion. *)
+
+type edge = Desc | Child
+
+val matches :
+  streams:Lxu_labeling.Interval.t array array ->
+  edges:edge array ->
+  Lxu_labeling.Interval.t array list
+(** [matches ~streams ~edges] where [streams.(i)] is the sorted element
+    list of query node [i] and [edges.(i)] relates node [i] to node
+    [i+1] ([Array.length edges = Array.length streams - 1]).  Returns
+    every root-to-leaf match as an array of one element per query node,
+    in leaf document order.
+    @raise Invalid_argument on mismatched lengths or empty patterns. *)
+
+val count : streams:Lxu_labeling.Interval.t array array -> edges:edge array -> int
+(** Number of matches (no tuple materialization). *)
+
+val leaves :
+  streams:Lxu_labeling.Interval.t array array ->
+  edges:edge array ->
+  Lxu_labeling.Interval.t list
+(** Distinct leaf elements participating in at least one match, in
+    document order. *)

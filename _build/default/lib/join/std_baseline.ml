@@ -1,0 +1,50 @@
+open Lxu_seglog
+open Lxu_labeling
+
+type stats = {
+  mutable elements_read : int;
+  mutable pairs : int;
+}
+
+let global_list_counted log ~tag stats =
+  let reg = Update_log.registry log in
+  match Tag_registry.find reg tag with
+  | None -> [||]
+  | Some tid ->
+    let acc = ref [] in
+    Array.iter
+      (fun (entry : Tag_list.entry) ->
+        let node = Update_log.node_of_sid log entry.Tag_list.sid in
+        Array.iter
+          (fun (k : Element_index.key) ->
+            (match stats with
+            | Some s -> s.elements_read <- s.elements_read + 1
+            | None -> ());
+            let e =
+              {
+                Er_node.start = k.Element_index.start;
+                stop = k.Element_index.stop;
+                level = k.Element_index.level;
+                tid = k.Element_index.tid;
+              }
+            in
+            let gstart, gstop = Er_node.global_extent node e in
+            acc := Interval.make ~start:gstart ~stop:gstop ~level:k.Element_index.level :: !acc)
+          (Update_log.elements_of log ~tid ~sid:entry.Tag_list.sid))
+      (Update_log.segments_for_tag log ~tag);
+    let a = Array.of_list !acc in
+    Array.sort Interval.compare_start a;
+    a
+
+let global_list log ~tag =
+  Update_log.prepare_for_query log;
+  global_list_counted log ~tag None
+
+let run ?axis log ~anc ~desc () =
+  let stats = { elements_read = 0; pairs = 0 } in
+  Update_log.prepare_for_query log;
+  let a = global_list_counted log ~tag:anc (Some stats) in
+  let d = global_list_counted log ~tag:desc (Some stats) in
+  let pairs, jstats = Stack_tree_desc.join ?axis ~anc:a ~desc:d () in
+  stats.pairs <- jstats.Stack_tree_desc.pairs;
+  (pairs, stats)

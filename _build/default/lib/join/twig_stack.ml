@@ -1,0 +1,236 @@
+open Lxu_util
+open Lxu_labeling
+
+type edge = Path_stack.edge = Desc | Child
+
+type query = {
+  qid : int;
+  stream : Interval.t array;
+  edge : edge;
+  children : query list;
+}
+
+let rec node_count q = List.fold_left (fun acc c -> acc + node_count c) 1 q.children
+
+type entry = { iv : Interval.t; ptr : int }
+
+(* Flattened query structures, all indexed by qid. *)
+type state = {
+  n : int;
+  nodes : query array;
+  parent : int array;  (* -1 for the root *)
+  cursors : int array;
+  stacks : entry Vec.t array;
+  (* Per leaf qid: the root-to-leaf qid list and collected path
+     solutions (root-first element arrays). *)
+  paths : (int, int list) Hashtbl.t;
+  solutions : (int, Interval.t array list ref) Hashtbl.t;
+}
+
+let build_state root =
+  let n = node_count root in
+  let nodes = Array.make n root in
+  let parent = Array.make n (-1) in
+  let paths = Hashtbl.create 8 in
+  let solutions = Hashtbl.create 8 in
+  let seen = Array.make n false in
+  let rec walk q up path =
+    if q.qid < 0 || q.qid >= n || seen.(q.qid) then
+      invalid_arg "Twig_stack: qids must be exactly 0..n-1";
+    seen.(q.qid) <- true;
+    nodes.(q.qid) <- q;
+    parent.(q.qid) <- up;
+    let path = q.qid :: path in
+    if q.children = [] then begin
+      Hashtbl.replace paths q.qid (List.rev path);
+      Hashtbl.replace solutions q.qid (ref [])
+    end
+    else List.iter (fun c -> walk c q.qid path) q.children
+  in
+  walk root (-1) [];
+  {
+    n;
+    nodes;
+    parent;
+    cursors = Array.make n 0;
+    stacks = Array.init n (fun _ -> Vec.create ());
+    paths;
+    solutions;
+  }
+
+let next_l st q =
+  let c = st.cursors.(q.qid) in
+  if c < Array.length q.stream then q.stream.(c).Interval.start else max_int
+
+let next_r st q =
+  let c = st.cursors.(q.qid) in
+  if c < Array.length q.stream then q.stream.(c).Interval.stop else max_int
+
+(* getNext of the TwigStack paper: returns a query node whose head
+   element is guaranteed not to need anything earlier from the other
+   streams (under descendant edges). *)
+let rec get_next st q =
+  if q.children = [] then q
+  else begin
+    let rec first_divergent = function
+      | [] -> None
+      | c :: rest ->
+        let nc = get_next st c in
+        if nc.qid <> c.qid then Some nc else first_divergent rest
+    in
+    match first_divergent q.children with
+    | Some nc -> nc
+    | None ->
+      let nmin =
+        List.fold_left
+          (fun best c -> if next_l st c < next_l st best then c else best)
+          (List.hd q.children) (List.tl q.children)
+      in
+      let nmax =
+        List.fold_left
+          (fun best c -> if next_l st c > next_l st best then c else best)
+          (List.hd q.children) (List.tl q.children)
+      in
+      while next_r st q < next_l st nmax do
+        st.cursors.(q.qid) <- st.cursors.(q.qid) + 1
+      done;
+      if next_l st q < next_l st nmin then q else nmin
+  end
+
+let clean_stack stack pos =
+  while Vec.length stack > 0 && (Vec.last stack).iv.Interval.stop <= pos do
+    ignore (Vec.pop stack)
+  done
+
+(* Expands the path solutions ending at leaf entry [e]: walks the
+   root-to-leaf stacks through the recorded pointers, checking
+   parent-child edges by level. *)
+let expand st leaf_qid (e : entry) =
+  let path = Array.of_list (Hashtbl.find st.paths leaf_qid) in
+  let depth = Array.length path in
+  let sols = Hashtbl.find st.solutions leaf_qid in
+  let chosen = Array.make depth e.iv in
+  (* position d in the path; [ent] is the chosen entry at depth d. *)
+  let rec up d (ent : entry) =
+    if d = 0 then sols := Array.copy chosen :: !sols
+    else begin
+      let upper_stack = st.stacks.(path.(d - 1)) in
+      let child_edge = st.nodes.(path.(d)).edge in
+      for j = 0 to ent.ptr do
+        let cand = Vec.get upper_stack j in
+        let edge_ok =
+          match child_edge with
+          | Desc -> true
+          | Child -> chosen.(d).Interval.level = cand.iv.Interval.level + 1
+        in
+        if edge_ok then begin
+          chosen.(d - 1) <- cand.iv;
+          up (d - 1) cand
+        end
+      done
+    end
+  in
+  chosen.(depth - 1) <- e.iv;
+  up (depth - 1) e
+
+let phase_one root =
+  let st = build_state root in
+  let leaves = Hashtbl.fold (fun k _ acc -> k :: acc) st.paths [] in
+  let live_leaf_min () =
+    (* The non-exhausted leaf with the smallest head, if any. *)
+    List.fold_left
+      (fun best qid ->
+        let q = st.nodes.(qid) in
+        if next_l st q = max_int then best
+        else begin
+          match best with
+          | Some b when next_l st b <= next_l st q -> best
+          | _ -> Some q
+        end)
+      None leaves
+  in
+  let continue_ = ref true in
+  while !continue_ do
+    let q = get_next st root in
+    (* Once any leaf stream is exhausted getNext may keep returning an
+       exhausted node; no further internal pushes can matter then, but
+       live leaves must still drain — their path solutions reference
+       already-stacked ancestors and merge with the finished paths. *)
+    let q = if next_l st q = max_int then live_leaf_min () else Some q in
+    match q with
+    | None -> continue_ := false
+    | Some q ->
+      let t = q.stream.(st.cursors.(q.qid)) in
+      let pq = st.parent.(q.qid) in
+      if pq >= 0 then clean_stack st.stacks.(pq) t.Interval.start;
+      if pq < 0 || Vec.length st.stacks.(pq) > 0 then begin
+        clean_stack st.stacks.(q.qid) t.Interval.start;
+        let e = { iv = t; ptr = (if pq < 0 then -1 else Vec.length st.stacks.(pq) - 1) } in
+        if q.children = [] then expand st q.qid e
+        else Vec.push st.stacks.(q.qid) e
+      end;
+      st.cursors.(q.qid) <- st.cursors.(q.qid) + 1
+  done;
+  st
+
+(* Phase two: join the per-path solutions on their shared prefixes.
+   Rows are partial assignments (by qid); two root-to-leaf paths share
+   exactly their common prefix, which is always already bound. *)
+let merge st root =
+  ignore root;
+  let leaf_ids = Hashtbl.fold (fun k _ acc -> k :: acc) st.paths [] |> List.sort compare in
+  let row_of path sol =
+    let row = Array.make st.n None in
+    List.iteri (fun d qid -> row.(qid) <- Some sol.(d)) path;
+    row
+  in
+  let start_of = function
+    | Some (iv : Interval.t) -> iv.Interval.start
+    | None -> assert false
+  in
+  match leaf_ids with
+  | [] -> []
+  | first :: rest ->
+    let first_path = Hashtbl.find st.paths first in
+    let acc = ref (List.map (row_of first_path) !(Hashtbl.find st.solutions first)) in
+    let bound = ref first_path in
+    List.iter
+      (fun leaf ->
+        let path = Hashtbl.find st.paths leaf in
+        let shared = List.filter (fun q -> List.mem q !bound) path in
+        (* Index accumulated rows by their shared-column values. *)
+        let table = Hashtbl.create 64 in
+        List.iter
+          (fun row ->
+            let key = List.map (fun q -> start_of row.(q)) shared in
+            Hashtbl.add table key row)
+          !acc;
+        let merged = ref [] in
+        List.iter
+          (fun sol ->
+            let row2 = row_of path sol in
+            let key = List.map (fun q -> start_of row2.(q)) shared in
+            List.iter
+              (fun row ->
+                let combined = Array.copy row in
+                List.iteri (fun d qid -> combined.(qid) <- Some sol.(d)) path;
+                merged := combined :: !merged)
+              (Hashtbl.find_all table key))
+          !(Hashtbl.find st.solutions leaf);
+        acc := !merged;
+        bound := !bound @ List.filter (fun q -> not (List.mem q !bound)) path)
+      rest;
+    List.map (fun row -> Array.map (function Some iv -> iv | None -> assert false) row) !acc
+
+let matches root =
+  let st = phase_one root in
+  merge st root
+
+let count root = List.length (matches root)
+
+let root_matches root =
+  let st = phase_one root in
+  let rows = merge st root in
+  rows
+  |> List.map (fun row -> row.(root.qid))
+  |> List.sort_uniq (fun (a : Interval.t) b -> compare a.Interval.start b.Interval.start)

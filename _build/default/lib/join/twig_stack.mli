@@ -1,0 +1,35 @@
+(** TwigStack (Bruno, Koudas, Srivastava — SIGMOD 2002): holistic
+    matching of branching twig patterns, the state-of-the-art join the
+    paper cites as [2].
+
+    A twig is a tree of query nodes, each with a sorted element stream
+    and an edge kind toward its parent.  Phase one coordinates all
+    streams with [getNext] — an element is pushed only while its head
+    can still participate in a full match under descendant edges — and
+    emits compact root-to-leaf path solutions; phase two joins the path
+    solutions on their shared prefixes into full twig tuples.  As in
+    the original, optimality holds for descendant-only twigs;
+    parent-child edges are enforced exactly (during path expansion) but
+    may admit interim pushes. *)
+
+type edge = Path_stack.edge = Desc | Child
+
+type query = {
+  qid : int;  (** unique per query node, 0 .. node count - 1 *)
+  stream : Lxu_labeling.Interval.t array;  (** sorted by start *)
+  edge : edge;  (** relation to the parent (ignored on the root) *)
+  children : query list;
+}
+
+val node_count : query -> int
+
+val matches : query -> Lxu_labeling.Interval.t array list
+(** Every full twig match as an array indexed by [qid], in no
+    particular order.
+    @raise Invalid_argument if [qid]s are not exactly 0..n-1. *)
+
+val count : query -> int
+
+val root_matches : query -> Lxu_labeling.Interval.t list
+(** Distinct root elements participating in at least one full match,
+    in document order. *)

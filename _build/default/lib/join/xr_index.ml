@@ -1,0 +1,56 @@
+open Lxu_labeling
+
+type t = {
+  elems : Interval.t array;
+  parent : int array;  (* nearest enclosing element in the same list, or -1 *)
+  mutable probes : int;
+}
+
+let build elems =
+  let n = Array.length elems in
+  let parent = Array.make n (-1) in
+  let stack = ref [] in
+  Array.iteri
+    (fun i (e : Interval.t) ->
+      if i > 0 && elems.(i - 1).Interval.start >= e.Interval.start then
+        invalid_arg "Xr_index.build: not sorted by start";
+      while
+        match !stack with
+        | j :: _ -> elems.(j).Interval.stop <= e.Interval.start
+        | [] -> false
+      do
+        stack := List.tl !stack
+      done;
+      (match !stack with j :: _ -> parent.(i) <- j | [] -> ());
+      stack := i :: !stack)
+    elems;
+  { elems; parent; probes = 0 }
+
+let length t = Array.length t.elems
+let get t i = t.elems.(i)
+let probes t = t.probes
+
+let first_from t pos =
+  t.probes <- t.probes + 1;
+  let lo = ref 0 and hi = ref (Array.length t.elems) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.elems.(mid).Interval.start < pos then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Ancestors of [pos]: start from the predecessor by start; if it does
+   not contain [pos], hop to its nearest enclosing element — the chain
+   of hops is bounded by the nesting depth. *)
+let stab t pos =
+  t.probes <- t.probes + 1;
+  let i = first_from t pos - 1 in
+  let rec up j acc =
+    if j < 0 then acc
+    else begin
+      let e = t.elems.(j) in
+      if e.Interval.start < pos && e.Interval.stop > pos then up t.parent.(j) (j :: acc)
+      else up t.parent.(j) acc
+    end
+  in
+  up i []

@@ -1,0 +1,34 @@
+(** XR-tree-style element index (Jiang, Lu, Wang, Ooi — ICDE 2003,
+    the paper's reference [5]).
+
+    The XR-tree augments a B{^+}-tree over element start positions
+    with stab information so a structural join can {e skip}: jump to
+    the first possible descendant of an ancestor, or fetch exactly the
+    ancestors stabbing a descendant's position, both in logarithmic
+    time.  This implementation indexes one tag's sorted, properly
+    nested element list with binary search plus nearest-enclosing
+    parent pointers — the same two probe operations with the same
+    bounds, in memory. *)
+
+type t
+
+val build : Lxu_labeling.Interval.t array -> t
+(** [build elems] over a list sorted by start whose intervals properly
+    nest (one tag of one document).
+    @raise Invalid_argument if unsorted. *)
+
+val length : t -> int
+val get : t -> int -> Lxu_labeling.Interval.t
+
+val first_from : t -> int -> int
+(** [first_from t pos] is the index of the first element whose start
+    is [>= pos] ([length t] when none) — the descendant-skipping
+    probe. *)
+
+val stab : t -> int -> int list
+(** [stab t pos] — indices of the elements strictly containing
+    position [pos], outermost first: the ancestor-skipping probe.
+    O(log n + answer). *)
+
+val probes : t -> int
+(** Cumulative probe count (cost metric). *)

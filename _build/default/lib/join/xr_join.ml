@@ -1,0 +1,63 @@
+open Lxu_labeling
+
+let keep axis (a : Interval.t) (d : Interval.t) =
+  match axis with
+  | Stack_tree_desc.Descendant -> true
+  | Stack_tree_desc.Child -> d.Interval.level = a.Interval.level + 1
+
+(* Descendant-driven: stab the ancestor index per descendant.  Output
+   is naturally descendant-ordered. *)
+let desc_driven axis anc desc stats =
+  let out = ref [] in
+  for j = 0 to Xr_index.length desc - 1 do
+    let d = Xr_index.get desc j in
+    stats.Stack_tree_desc.d_scanned <- stats.Stack_tree_desc.d_scanned + 1;
+    List.iter
+      (fun i ->
+        let a = Xr_index.get anc i in
+        stats.Stack_tree_desc.a_scanned <- stats.Stack_tree_desc.a_scanned + 1;
+        if keep axis a d then begin
+          out := (a, d) :: !out;
+          stats.Stack_tree_desc.pairs <- stats.Stack_tree_desc.pairs + 1
+        end)
+      (Xr_index.stab anc d.Interval.start)
+  done;
+  List.rev !out
+
+(* Ancestor-driven: probe the descendant index for each ancestor's
+   first possible descendant, scan the contained run, and collect
+   pairs grouped per descendant so the output can be descendant-
+   sorted.  Nested ancestors revisit their shared descendants (like
+   the XR-tree join, the work is bounded by the output). *)
+let anc_driven axis anc desc stats =
+  let acc = ref [] in
+  for i = 0 to Xr_index.length anc - 1 do
+    let a = Xr_index.get anc i in
+    stats.Stack_tree_desc.a_scanned <- stats.Stack_tree_desc.a_scanned + 1;
+    let j = ref (Xr_index.first_from desc (a.Interval.start + 1)) in
+    let continue_ = ref true in
+    while !continue_ && !j < Xr_index.length desc do
+      let d = Xr_index.get desc !j in
+      if d.Interval.start >= a.Interval.stop then continue_ := false
+      else begin
+        stats.Stack_tree_desc.d_scanned <- stats.Stack_tree_desc.d_scanned + 1;
+        if keep axis a d then begin
+          acc := (a, d) :: !acc;
+          stats.Stack_tree_desc.pairs <- stats.Stack_tree_desc.pairs + 1
+        end;
+        incr j
+      end
+    done
+  done;
+  List.sort
+    (fun ((a1 : Interval.t), (d1 : Interval.t)) (a2, d2) ->
+      compare (d1.Interval.start, a1.Interval.start) (d2.Interval.start, a2.Interval.start))
+    !acc
+
+let join ?(axis = Stack_tree_desc.Descendant) ~anc ~desc () =
+  let stats = { Stack_tree_desc.a_scanned = 0; d_scanned = 0; pairs = 0 } in
+  let pairs =
+    if Xr_index.length anc <= Xr_index.length desc then anc_driven axis anc desc stats
+    else desc_driven axis anc desc stats
+  in
+  (pairs, stats)

@@ -1,0 +1,21 @@
+(** Structural join over {!Xr_index}: skipping on both sides, per the
+    XR-tree paper [5].
+
+    Two strategies, chosen by list sizes:
+    {ul
+    {- ancestor-driven: for each ancestor, probe the descendant index
+       for its first possible descendant and scan only the contained
+       run — descendants outside every ancestor are never touched;}
+    {- descendant-driven: for each descendant, stab the ancestor index
+       — ancestors are fetched, never scanned.}}
+
+    Output pairs are sorted by descendant position in both cases. *)
+
+val join :
+  ?axis:Stack_tree_desc.axis ->
+  anc:Xr_index.t ->
+  desc:Xr_index.t ->
+  unit ->
+  (Lxu_labeling.Interval.t * Lxu_labeling.Interval.t) list * Stack_tree_desc.stats
+(** [a_scanned]/[d_scanned] count elements actually touched — the
+    skipping benefit shows as counts far below the list lengths. *)

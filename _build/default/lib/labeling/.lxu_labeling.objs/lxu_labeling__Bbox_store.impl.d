@@ -1,0 +1,1 @@
+lib/labeling/bbox_store.ml: Marker_store Rank_order

@@ -1,0 +1,1 @@
+lib/labeling/bbox_store.mli: Rank_order

@@ -1,0 +1,1 @@
+lib/labeling/binary_label.ml: Bytes String

@@ -1,0 +1,1 @@
+lib/labeling/box_store.ml: Marker_store Order_label

@@ -1,0 +1,1 @@
+lib/labeling/box_store.mli: Order_label

@@ -1,0 +1,1 @@
+lib/labeling/dewey_label.mli: Format

@@ -1,0 +1,1 @@
+lib/labeling/interval_store.ml: Hashtbl Interval List Lxu_util Lxu_xml Printf String Vec

@@ -1,0 +1,1 @@
+lib/labeling/interval_store.mli: Interval

@@ -1,0 +1,1 @@
+lib/labeling/marker_store.ml: Option

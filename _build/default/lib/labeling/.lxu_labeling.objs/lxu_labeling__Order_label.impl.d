@@ -1,0 +1,1 @@
+lib/labeling/order_label.ml: Int

@@ -1,0 +1,1 @@
+lib/labeling/prime_label.ml: Bignum Crt List Lxu_bignum Lxu_util Prime_gen Printf Vec

@@ -1,0 +1,1 @@
+lib/labeling/prime_label.mli: Lxu_bignum

@@ -1,0 +1,1 @@
+lib/labeling/rank_order.ml: Int Printf Random

@@ -1,0 +1,15 @@
+include Marker_store.Make (struct
+  type t = Rank_order.t
+  type item = Rank_order.item
+
+  let create = Rank_order.create
+  let insert_first = Rank_order.insert_first
+  let insert_after = Rank_order.insert_after
+  let insert_before = Rank_order.insert_before
+  let remove = Rank_order.remove
+  let compare = Rank_order.compare
+  let size = Rank_order.size
+  let check = Rank_order.check
+end)
+
+let lookups t = Rank_order.lookups (order t)

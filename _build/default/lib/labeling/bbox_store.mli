@@ -1,0 +1,33 @@
+(** B-BOX-style element labeling: {!Marker_store} over {!Rank_order}
+    (the second structure of Silberstein et al., ICDE 2005).
+
+    No labels are stored at all — ancestry and order reconstruct ranks
+    from a counted tree on demand.  Updates never relabel (constant
+    amortized bookkeeping); every containment test costs O(log n),
+    the trade-off [9] describes against W-BOX. *)
+
+type t
+type elem
+
+val create : unit -> t
+val element_count : t -> int
+
+val insert_first_child : t -> parent:elem option -> elem
+val insert_last_child : t -> parent:elem option -> elem
+val insert_after : t -> elem -> elem
+
+val remove : t -> elem -> unit
+(** Removes a {e leaf} element.
+    @raise Invalid_argument if the element still has children. *)
+
+val is_ancestor : t -> elem -> elem -> bool
+val is_parent : t -> elem -> elem -> bool
+val level : elem -> int
+val document_compare : t -> elem -> elem -> int
+
+val lookups : t -> int
+(** Rank reconstructions so far — the scheme's query-cost metric. *)
+
+val check : t -> unit
+
+val order : t -> Rank_order.t

@@ -1,0 +1,35 @@
+type t = string
+type code = string
+
+let root = ""
+let first_code = "0"
+
+let all_ones s = s <> "" && String.for_all (fun c -> c = '1') s
+
+(* Binary increment; the caller guarantees the input is not all ones
+   (all-ones values are doubled before being handed out). *)
+let increment s =
+  let b = Bytes.of_string s in
+  let rec go i =
+    if i < 0 then invalid_arg "Binary_label.increment: overflow"
+    else if Bytes.get b i = '0' then Bytes.set b i '1'
+    else begin
+      Bytes.set b i '0';
+      go (i - 1)
+    end
+  in
+  go (Bytes.length b - 1);
+  Bytes.to_string b
+
+let next_code c =
+  let inc = increment c in
+  if all_ones inc then inc ^ String.make (String.length inc) '0' else inc
+
+let extend parent code = parent ^ code
+
+let is_ancestor a d =
+  String.length a < String.length d && String.sub d 0 (String.length a) = a
+
+let compare = String.compare
+let bits t = String.length t
+let to_string t = t

@@ -1,0 +1,41 @@
+(** The binary dynamic labeling scheme of Cohen, Kaplan and Milo
+    (PODS 2002), surveyed in §2 of the paper.
+
+    Each child of a node gets a binary {e code}: the first child "0",
+    and each next child the binary increment of the previous one — and
+    whenever the increment is all ones, its length is doubled by
+    appending zeros.  The code sequence is prefix-free, so
+    concatenating codes along the root path yields labels where
+    ancestry is a proper-prefix test.  Labels grow quickly with
+    fan-out, which is the storage critique the paper makes; the
+    {!bits} accessor feeds the label-size ablation benchmark.
+    The scheme appends children at the end only and does not maintain
+    sibling order under arbitrary insertion (also per the paper). *)
+
+type t
+(** A label: the concatenated code string. *)
+
+type code = string
+(** A child code: a string of ['0']/['1']. *)
+
+val root : t
+(** The root label (empty code string). *)
+
+val first_code : code
+
+val next_code : code -> code
+(** The code following [c] in the child sequence. *)
+
+val extend : t -> code -> t
+(** [extend parent code] is the label of the child with [code]. *)
+
+val is_ancestor : t -> t -> bool
+(** Proper-prefix test. *)
+
+val compare : t -> t -> int
+(** Lexicographic; consistent with sibling creation order. *)
+
+val bits : t -> int
+(** Label length in bits. *)
+
+val to_string : t -> string

@@ -1,0 +1,15 @@
+include Marker_store.Make (struct
+  type t = Order_label.t
+  type item = Order_label.item
+
+  let create = Order_label.create
+  let insert_first = Order_label.insert_first
+  let insert_after = Order_label.insert_after
+  let insert_before = Order_label.insert_before
+  let remove = Order_label.remove
+  let compare _ a b = Order_label.compare a b
+  let size = Order_label.size
+  let check = Order_label.check
+end)
+
+let relabels t = Order_label.relabels (order t)

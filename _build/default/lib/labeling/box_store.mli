@@ -1,0 +1,39 @@
+(** W-BOX-style element labeling: {!Marker_store} over {!Order_label}
+    (Silberstein et al., ICDE 2005 — the comparison the paper defers
+    to future work, §6).
+
+    Ancestry and document order are integer comparisons, like interval
+    labels, but an insertion relabels only O(log² n) amortized markers
+    instead of the traditional store's O(n). *)
+
+type t
+type elem
+
+val create : unit -> t
+val element_count : t -> int
+
+val insert_first_child : t -> parent:elem option -> elem
+(** New first child of [parent] ([None]: new first root). *)
+
+val insert_last_child : t -> parent:elem option -> elem
+(** New last child of [parent] ([None]: new last root). *)
+
+val insert_after : t -> elem -> elem
+(** New next sibling of an element. *)
+
+val remove : t -> elem -> unit
+(** Removes a {e leaf} element.
+    @raise Invalid_argument if the element still has children. *)
+
+val is_ancestor : t -> elem -> elem -> bool
+val is_parent : t -> elem -> elem -> bool
+val level : elem -> int
+val document_compare : t -> elem -> elem -> int
+
+val relabels : t -> int
+(** Markers relabelled so far — the scheme's update-cost metric. *)
+
+val check : t -> unit
+
+val order : t -> Order_label.t
+(** The underlying order-maintenance list. *)

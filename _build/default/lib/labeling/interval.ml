@@ -1,0 +1,24 @@
+type t = { start : int; stop : int; level : int }
+
+let make ~start ~stop ~level =
+  if start >= stop then invalid_arg "Interval.make: start >= stop";
+  if level < 0 then invalid_arg "Interval.make: negative level";
+  { start; stop; level }
+
+let contains a d = a.start < d.start && a.stop > d.stop
+let is_parent a d = contains a d && d.level = a.level + 1
+let compare_start a b = Int.compare a.start b.start
+
+(* An edit at offset [from] affects a start at exactly [from] (the
+   element now lies after the inserted text) but not a stop at exactly
+   [from] (the element ends before the insertion point). *)
+let shift l ~by ~from =
+  {
+    start = (if l.start >= from then l.start + by else l.start);
+    stop = (if l.stop > from then l.stop + by else l.stop);
+    level = l.level;
+  }
+
+let equal a b = a.start = b.start && a.stop = b.stop && a.level = b.level
+
+let pp fmt l = Format.fprintf fmt "[%d,%d)@%d" l.start l.stop l.level

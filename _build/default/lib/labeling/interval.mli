@@ -1,0 +1,32 @@
+(** Interval (region) labels.
+
+    The classical positional labeling: an element is identified by the
+    byte offset of its start tag, the byte offset one past its end tag,
+    and its depth.  Containment is plain integer comparison, which is
+    what makes interval labels the fastest substrate for structural
+    joins — and the most expensive to maintain under updates, since an
+    insertion shifts every following label (the paper's Figure 16
+    baseline). *)
+
+type t = { start : int; stop : int; level : int }
+
+val make : start:int -> stop:int -> level:int -> t
+(** @raise Invalid_argument unless [start < stop] and [level >= 0]. *)
+
+val contains : t -> t -> bool
+(** [contains a d]: is [d] strictly inside [a]?  (ancestor test) *)
+
+val is_parent : t -> t -> bool
+(** [contains a d] and the levels differ by exactly one. *)
+
+val compare_start : t -> t -> int
+(** Document order (by [start]). *)
+
+val shift : t -> by:int -> from:int -> t
+(** [shift l ~by ~from] relabels after a text edit at offset [from]:
+    [start] moves when [start >= from], [stop] when [stop > from], so
+    an element ending exactly at the edit point is untouched while one
+    starting there moves. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,125 @@
+open Lxu_util
+
+type t = {
+  index_attributes : bool;
+  by_tag : (string, Interval.t Vec.t) Hashtbl.t;
+  mutable doc_length : int;
+  mutable element_count : int;
+  mutable last_relabel_count : int;
+}
+
+let create ?(index_attributes = false) () =
+  {
+    index_attributes;
+    by_tag = Hashtbl.create 64;
+    doc_length = 0;
+    element_count = 0;
+    last_relabel_count = 0;
+  }
+
+let doc_length t = t.doc_length
+let element_count t = t.element_count
+let last_relabel_count t = t.last_relabel_count
+
+let tag_vec t tag =
+  match Hashtbl.find_opt t.by_tag tag with
+  | Some v -> v
+  | None ->
+    let v = Vec.create () in
+    Hashtbl.add t.by_tag tag v;
+    v
+
+let level_at t pos =
+  let depth = ref 0 in
+  Hashtbl.iter
+    (fun _ v ->
+      Vec.iter
+        (fun (l : Interval.t) -> if l.start < pos && l.stop > pos then incr depth)
+        v)
+    t.by_tag;
+  !depth
+
+(* Shifts every label endpoint at or after [from] by [by], counting the
+   touched labels. *)
+let shift_all t ~by ~from =
+  let touched = ref 0 in
+  Hashtbl.iter
+    (fun _ v ->
+      Vec.iteri
+        (fun i (l : Interval.t) ->
+          if l.stop > from then begin
+            incr touched;
+            Vec.set v i (Interval.shift l ~by ~from)
+          end)
+        v)
+    t.by_tag;
+  !touched
+
+let insert t ~gp text =
+  if gp < 0 || gp > t.doc_length then invalid_arg "Interval_store.insert: gp out of bounds";
+  let nodes = Lxu_xml.Parser.parse_fragment text in
+  let base_level = level_at t gp in
+  let len = String.length text in
+  t.last_relabel_count <- shift_all t ~by:len ~from:gp;
+  Lxu_xml.Tree.iter_labels ~attributes:t.index_attributes ~base_level nodes
+    (fun ~name ~start ~stop ~level ->
+      let label = Interval.make ~start:(gp + start) ~stop:(gp + stop) ~level in
+      let v = tag_vec t name in
+      let i = Vec.lower_bound v ~compare:(fun l -> Interval.compare_start l label) in
+      Vec.insert_at v i label;
+      t.element_count <- t.element_count + 1);
+  t.doc_length <- t.doc_length + len
+
+let remove t ~gp ~len =
+  if len < 0 || gp < 0 || gp + len > t.doc_length then
+    invalid_arg "Interval_store.remove: range out of bounds";
+  let stop = gp + len in
+  let touched = ref 0 in
+  Hashtbl.iter
+    (fun _ v ->
+      (* Drop labels fully inside the removed range, then shift. *)
+      let kept = Vec.create () in
+      Vec.iter
+        (fun (l : Interval.t) ->
+          if l.start >= gp && l.stop <= stop then begin
+            incr touched;
+            t.element_count <- t.element_count - 1
+          end
+          else begin
+            if l.stop >= stop then incr touched;
+            Vec.push kept (Interval.shift l ~by:(-len) ~from:stop)
+          end)
+        v;
+      Vec.clear v;
+      Vec.iter (Vec.push v) kept)
+    t.by_tag;
+  t.last_relabel_count <- !touched;
+  t.doc_length <- t.doc_length - len
+
+let elements t ~tag =
+  match Hashtbl.find_opt t.by_tag tag with
+  | None -> [||]
+  | Some v -> Vec.to_array v
+
+let tags t =
+  Hashtbl.fold (fun tag v acc -> if Vec.is_empty v then acc else tag :: acc) t.by_tag []
+  |> List.sort String.compare
+
+let check t =
+  let counted = ref 0 in
+  Hashtbl.iter
+    (fun tag v ->
+      let prev = ref None in
+      Vec.iter
+        (fun (l : Interval.t) ->
+          incr counted;
+          if l.start < 0 || l.stop > t.doc_length then
+            failwith (Printf.sprintf "label of %s out of document bounds" tag);
+          (match !prev with
+          | Some (p : Interval.t) when p.start >= l.start ->
+            failwith (Printf.sprintf "labels of %s not sorted" tag)
+          | _ -> ());
+          prev := Some l)
+        v)
+    t.by_tag;
+  if !counted <> t.element_count then failwith "element_count mismatch"

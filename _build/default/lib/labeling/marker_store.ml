@@ -1,0 +1,87 @@
+(* The shared element-labeling layer of the two BOX structures [9]:
+   one order-maintenance list holding a start and an end marker per
+   element, a hidden virtual root bracketing everything, and levels
+   tracked per element.  W-BOX plugs in tag-based order maintenance
+   (O(1) compares, amortized relabeling); B-BOX plugs in rank-based
+   order maintenance (no relabeling, O(log n) compares). *)
+
+module type ORDER = sig
+  type t
+  type item
+
+  val create : unit -> t
+  val insert_first : t -> item
+  val insert_after : t -> item -> item
+  val insert_before : t -> item -> item
+  val remove : t -> item -> unit
+  val compare : t -> item -> item -> int
+  val size : t -> int
+  val check : t -> unit
+end
+
+module Make (O : ORDER) = struct
+  type elem = {
+    start_m : O.item;
+    end_m : O.item;
+    level : int;
+    mutable children : int;
+    parent : elem option;
+  }
+
+  type t = { order : O.t; hidden : elem; mutable count : int }
+
+  let create () =
+    let order = O.create () in
+    let s = O.insert_first order in
+    let e = O.insert_after order s in
+    {
+      order;
+      hidden = { start_m = s; end_m = e; level = -1; children = 0; parent = None };
+      count = 0;
+    }
+
+  let element_count t = t.count
+  let order t = t.order
+
+  let make t ~parent ~start_m ~end_m =
+    parent.children <- parent.children + 1;
+    t.count <- t.count + 1;
+    { start_m; end_m; level = parent.level + 1; children = 0; parent = Some parent }
+
+  let insert_last_child t ~parent =
+    let p = Option.value ~default:t.hidden parent in
+    let s = O.insert_before t.order p.end_m in
+    let e = O.insert_after t.order s in
+    make t ~parent:p ~start_m:s ~end_m:e
+
+  let insert_first_child t ~parent =
+    let p = Option.value ~default:t.hidden parent in
+    let s = O.insert_after t.order p.start_m in
+    let e = O.insert_after t.order s in
+    make t ~parent:p ~start_m:s ~end_m:e
+
+  let insert_after t sib =
+    let p = Option.value ~default:t.hidden sib.parent in
+    let s = O.insert_after t.order sib.end_m in
+    let e = O.insert_after t.order s in
+    make t ~parent:p ~start_m:s ~end_m:e
+
+  let remove t el =
+    if el.children > 0 then invalid_arg "Marker_store.remove: element has children";
+    O.remove t.order el.start_m;
+    O.remove t.order el.end_m;
+    (match el.parent with Some p -> p.children <- p.children - 1 | None -> ());
+    t.count <- t.count - 1
+
+  let is_ancestor t a d =
+    O.compare t.order a.start_m d.start_m < 0 && O.compare t.order d.end_m a.end_m < 0
+
+  let level el = el.level
+  let is_parent t a d = d.level = a.level + 1 && is_ancestor t a d
+  let document_compare t a b = O.compare t.order a.start_m b.start_m
+
+  let check t =
+    O.check t.order;
+    if O.size t.order <> (2 * t.count) + 2 then
+      failwith "Marker_store: marker count out of sync"
+end

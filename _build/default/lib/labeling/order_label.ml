@@ -1,0 +1,149 @@
+(* Tags live in [0, 2^tag_bits).  Items form a doubly-linked list kept
+   sorted by tag, so insertion and removal are local; only rebalancing
+   touches neighbours, and how many it touches is exactly the cost this
+   structure is designed to bound. *)
+
+let tag_bits = 60
+let tag_limit = 1 lsl tag_bits
+
+type item = {
+  mutable tg : int;
+  mutable prev : item option;
+  mutable next : item option;
+  mutable live : bool;
+}
+
+type t = {
+  mutable head : item option;
+  mutable size : int;
+  mutable relabels : int;
+}
+
+let create () = { head = None; size = 0; relabels = 0 }
+
+let size t = t.size
+let relabels t = t.relabels
+
+let alive it = if not it.live then invalid_arg "Order_label: removed item"
+
+let compare a b =
+  alive a;
+  alive b;
+  Int.compare a.tg b.tg
+
+let tag it =
+  alive it;
+  it.tg
+
+(* Spreads the items whose tags fall in the aligned 2^l range around
+   [anchor] evenly across that range.  Level acceptance uses the
+   canonical geometric capacities (2/T)^l (Itai/Bender list labeling):
+   lower levels tolerate almost nothing, the root almost everything,
+   which is what yields O(log^2 n) amortized relabels per insertion —
+   a uniform threshold degrades to a linear cost per insert under a
+   hot-spot adversary. *)
+let threshold_t = 1.4
+
+let rebalance t anchor =
+  let rec find_level l =
+    if l > tag_bits then failwith "Order_label: tag space exhausted";
+    let width = 1 lsl l in
+    let base = anchor.tg land lnot (width - 1) in
+    (* Occupants of [base, base+width): walk out from the anchor. *)
+    let first = ref anchor and count = ref 1 in
+    let rec back it =
+      match it.prev with
+      | Some p when p.tg >= base ->
+        first := p;
+        incr count;
+        back p
+      | _ -> ()
+    in
+    back anchor;
+    let rec fwd it =
+      match it.next with
+      | Some nx when nx.tg < base + width ->
+        incr count;
+        fwd nx
+      | _ -> ()
+    in
+    fwd anchor;
+    let capacity = (2.0 /. threshold_t) ** float_of_int l in
+    if float_of_int (!count + 2) <= capacity && !count + 1 <= width lsr 1 then
+      (base, width, !first, !count)
+    else find_level (l + 1)
+  in
+  let base, width, first, count = find_level 1 in
+  let step = width / (count + 1) in
+  let cursor = ref (Some first) in
+  for k = 0 to count - 1 do
+    match !cursor with
+    | None -> assert false
+    | Some it ->
+      let fresh = base + (step * (k + 1)) in
+      if it.tg <> fresh then begin
+        it.tg <- fresh;
+        t.relabels <- t.relabels + 1
+      end;
+      cursor := it.next
+  done
+
+let insert_first t =
+  if t.head <> None then invalid_arg "Order_label.insert_first: list not empty";
+  let it = { tg = tag_limit / 2; prev = None; next = None; live = true } in
+  t.head <- Some it;
+  t.size <- 1;
+  it
+
+(* Fresh item spliced between [before] and [after] (either may be
+   absent at the list ends), rebalancing around [near] until an
+   integer tag fits. *)
+let rec splice t ~before ~after ~near =
+  let prev_tag = match before with Some it -> it.tg | None -> -1 in
+  let next_tag = match after with Some it -> it.tg | None -> tag_limit in
+  if next_tag - prev_tag > 1 then begin
+    let it =
+      { tg = prev_tag + ((next_tag - prev_tag) / 2); prev = before; next = after; live = true }
+    in
+    (match before with Some b -> b.next <- Some it | None -> t.head <- Some it);
+    (match after with Some a -> a.prev <- Some it | None -> ());
+    t.size <- t.size + 1;
+    it
+  end
+  else begin
+    rebalance t near;
+    splice t ~before ~after ~near
+  end
+
+let insert_after t it =
+  alive it;
+  splice t ~before:(Some it) ~after:it.next ~near:it
+
+let insert_before t it =
+  alive it;
+  splice t ~before:it.prev ~after:(Some it) ~near:it
+
+let remove t it =
+  alive it;
+  (match it.prev with Some p -> p.next <- it.next | None -> t.head <- it.next);
+  (match it.next with Some n -> n.prev <- it.prev | None -> ());
+  it.live <- false;
+  t.size <- t.size - 1
+
+let check t =
+  let rec go prev_tag seen = function
+    | None ->
+      if seen <> t.size then failwith "Order_label: size out of sync"
+    | Some it ->
+      if not it.live then failwith "Order_label: dead item in list";
+      if it.tg <= prev_tag then failwith "Order_label: tags not increasing";
+      if it.tg < 0 || it.tg >= tag_limit then failwith "Order_label: tag out of range";
+      (match it.next with
+      | Some nx -> (
+        match nx.prev with
+        | Some p when p == it -> ()
+        | _ -> failwith "Order_label: broken back link")
+      | None -> ());
+      go it.tg (seen + 1) it.next
+  in
+  go (-1) 0 t.head

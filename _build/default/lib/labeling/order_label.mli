@@ -1,0 +1,48 @@
+(** Order maintenance by amortized list labeling — the core of the
+    W-BOX approach of Silberstein et al. (ICDE 2005), the mutable
+    alternative the paper plans to compare against (§6).
+
+    Items carry integer tags from a large tag space; order comparison
+    is one integer comparison (as fast as interval labels).  Insertion
+    between two items takes the tag midpoint; when no gap remains, the
+    smallest sufficiently sparse enclosing power-of-two tag range is
+    relabelled evenly — O(log n) amortized relabels per insertion
+    instead of the traditional store's O(n).
+
+    {!Box_store} builds element labels from one order list holding a
+    start and an end marker per element. *)
+
+type t
+type item
+
+val create : unit -> t
+(** An empty list. *)
+
+val size : t -> int
+
+val insert_first : t -> item
+(** Inserts into an empty list. @raise Invalid_argument otherwise. *)
+
+val insert_after : t -> item -> item
+(** A fresh item immediately after the given one. *)
+
+val insert_before : t -> item -> item
+(** A fresh item immediately before the given one. *)
+
+val remove : t -> item -> unit
+(** Removes an item.  @raise Invalid_argument if already removed. *)
+
+val compare : item -> item -> int
+(** Current order; a single integer comparison.
+    @raise Invalid_argument on removed items. *)
+
+val tag : item -> int
+(** The current integer tag (changes on relabeling). *)
+
+val relabels : t -> int
+(** Cumulative count of items whose tag was rewritten — the update
+    cost this scheme trades against the traditional store's O(n)
+    shifts. *)
+
+val check : t -> unit
+(** Tags strictly increase along the list (test helper). *)

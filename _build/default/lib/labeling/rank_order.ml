@@ -1,0 +1,180 @@
+(* Order-statistic treap: random heap priorities keep expected
+   logarithmic depth; subtree sizes give ranks; parent pointers let
+   rank queries start from the item itself. *)
+
+type item = {
+  prio : int;
+  mutable left : item option;
+  mutable right : item option;
+  mutable parent : item option;
+  mutable size : int;  (* subtree size; 0 marks a removed item *)
+}
+
+type t = {
+  mutable root : item option;
+  rng : Random.State.t;
+  mutable lookups : int;
+}
+
+let create () = { root = None; rng = Random.State.make [| 0x5eed |]; lookups = 0 }
+
+let size t = match t.root with Some r -> r.size | None -> 0
+let lookups t = t.lookups
+
+let alive it = if it.size = 0 then invalid_arg "Rank_order: removed item"
+
+let size_of = function Some n -> n.size | None -> 0
+
+let update it = it.size <- 1 + size_of it.left + size_of it.right
+
+(* Rotation bringing [x] above its parent [p]; sizes and parent links
+   maintained. *)
+let is_left_child p x = match p.left with Some l -> l == x | None -> false
+
+let rotate_up t x =
+  match x.parent with
+  | None -> ()
+  | Some p ->
+    let g = p.parent in
+    if is_left_child p x then begin
+      p.left <- x.right;
+      (match x.right with Some r -> r.parent <- Some p | None -> ());
+      x.right <- Some p
+    end
+    else begin
+      p.right <- x.left;
+      (match x.left with Some l -> l.parent <- Some p | None -> ());
+      x.left <- Some p
+    end;
+    p.parent <- Some x;
+    x.parent <- g;
+    (match g with
+    | None -> t.root <- Some x
+    | Some g -> if is_left_child g p then g.left <- Some x else g.right <- Some x);
+    update p;
+    update x
+
+let rec bubble_up t x =
+  match x.parent with
+  | Some p when p.prio > x.prio ->
+    rotate_up t x;
+    bubble_up t x
+  | _ -> ()
+
+let rec update_to_root = function
+  | None -> ()
+  | Some n ->
+    update n;
+    update_to_root n.parent
+
+let fresh t =
+  { prio = Random.State.bits t.rng; left = None; right = None; parent = None; size = 1 }
+
+let insert_first t =
+  if t.root <> None then invalid_arg "Rank_order.insert_first: list not empty";
+  let it = fresh t in
+  t.root <- Some it;
+  it
+
+let attach t it ~under ~side =
+  (match side with
+  | `Left -> under.left <- Some it
+  | `Right -> under.right <- Some it);
+  it.parent <- Some under;
+  update_to_root (Some under);
+  bubble_up t it;
+  it
+
+let insert_after t x =
+  alive x;
+  let it = fresh t in
+  match x.right with
+  | None -> attach t it ~under:x ~side:`Right
+  | Some r ->
+    let rec leftmost n = match n.left with Some l -> leftmost l | None -> n in
+    attach t it ~under:(leftmost r) ~side:`Left
+
+let insert_before t x =
+  alive x;
+  let it = fresh t in
+  match x.left with
+  | None -> attach t it ~under:x ~side:`Left
+  | Some l ->
+    let rec rightmost n = match n.right with Some r -> rightmost r | None -> n in
+    attach t it ~under:(rightmost l) ~side:`Right
+
+(* Rotate the item down to a leaf, then unlink. *)
+let remove t x =
+  alive x;
+  let rec sink () =
+    match (x.left, x.right) with
+    | None, None -> ()
+    | Some l, None ->
+      rotate_up t l;
+      sink ()
+    | None, Some r ->
+      rotate_up t r;
+      sink ()
+    | Some l, Some r ->
+      rotate_up t (if l.prio <= r.prio then l else r);
+      sink ()
+  in
+  sink ();
+  (match x.parent with
+  | None -> t.root <- None
+  | Some p ->
+    if is_left_child p x then p.left <- None else p.right <- None;
+    update_to_root (Some p));
+  x.parent <- None;
+  x.size <- 0
+
+let rank t x =
+  alive x;
+  t.lookups <- t.lookups + 1;
+  let r = ref (size_of x.left) in
+  let rec up child = function
+    | None -> ()
+    | Some p ->
+      (match p.right with
+      | Some rc when rc == child -> r := !r + size_of p.left + 1
+      | _ -> ());
+      up p p.parent
+  in
+  up x x.parent;
+  !r
+
+let compare t a b = Int.compare (rank t a) (rank t b)
+
+let check t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let count = ref 0 in
+  let rec go node parent =
+    match node with
+    | None -> 0
+    | Some n ->
+      incr count;
+      (match (n.parent, parent) with
+      | None, None -> ()
+      | Some p, Some p' when p == p' -> ()
+      | _ -> fail "broken parent link");
+      (match parent with
+      | Some p when p.prio > n.prio -> fail "heap property violated"
+      | _ -> ());
+      let ls = go n.left node and rs = go n.right node in
+      if n.size <> ls + rs + 1 then fail "size out of sync";
+      n.size
+  in
+  ignore (go t.root None);
+  (* Ranks enumerate 0..size-1 in order. *)
+  let expected = ref 0 in
+  let lk = t.lookups in
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+      walk n.left;
+      if rank t n <> !expected then fail "rank mismatch at %d" !expected;
+      incr expected;
+      walk n.right
+  in
+  walk t.root;
+  t.lookups <- lk

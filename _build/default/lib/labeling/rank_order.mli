@@ -1,0 +1,41 @@
+(** Order maintenance without stored labels — the B-BOX idea of
+    Silberstein et al. (ICDE 2005): items live in a counted balanced
+    tree, and an item's "label" is its in-order rank, {e reconstructed}
+    on demand in O(log n).  Updates never relabel anything (constant
+    bookkeeping per insertion, against W-BOX's O(log² n) amortized
+    relabels); the price is a logarithmic comparison instead of
+    W-BOX's O(1) integer test.
+
+    Implemented as an order-statistic treap with parent pointers and
+    subtree sizes. *)
+
+type t
+type item
+
+val create : unit -> t
+(** An empty order, seeded deterministically. *)
+
+val size : t -> int
+
+val insert_first : t -> item
+(** Inserts into an empty list. @raise Invalid_argument otherwise. *)
+
+val insert_after : t -> item -> item
+val insert_before : t -> item -> item
+
+val remove : t -> item -> unit
+(** @raise Invalid_argument if already removed. *)
+
+val rank : t -> item -> int
+(** Current 0-based position — the reconstructed label; O(log n). *)
+
+val compare : t -> item -> item -> int
+(** Order comparison through two rank reconstructions. *)
+
+val lookups : t -> int
+(** Cumulative count of rank reconstructions (the scheme's query-side
+    cost metric). *)
+
+val check : t -> unit
+(** Validates sizes, parent links, heap priorities and rank
+    consistency. @raise Failure on violation. *)

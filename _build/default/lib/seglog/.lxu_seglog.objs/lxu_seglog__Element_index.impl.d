@@ -1,0 +1,1 @@
+lib/seglog/element_index.ml: Array Bptree Int List Lxu_btree

@@ -1,0 +1,1 @@
+lib/seglog/element_index.mli:

@@ -1,0 +1,1 @@
+lib/seglog/er_node.ml: Array Int List Lxu_util Printf String Vec

@@ -1,0 +1,1 @@
+lib/seglog/er_node.mli: Lxu_util

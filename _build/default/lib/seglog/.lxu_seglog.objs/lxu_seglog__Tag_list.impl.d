@@ -1,0 +1,1 @@
+lib/seglog/tag_list.ml: Array Hashtbl Int List Lxu_util Vec

@@ -1,0 +1,1 @@
+lib/seglog/tag_list.mli:

@@ -1,0 +1,1 @@
+lib/seglog/tag_registry.ml: Hashtbl Lxu_util Vec

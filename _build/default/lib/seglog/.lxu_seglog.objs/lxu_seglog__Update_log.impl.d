@@ -1,0 +1,1 @@
+lib/seglog/update_log.ml: Array Bptree Buffer Element_index Er_node Fun Hashtbl Int Lazy List Lxu_btree Lxu_util Lxu_xml Option Printf Scanf String Tag_list Tag_registry Vec

@@ -1,0 +1,1 @@
+lib/seglog/update_log.mli: Element_index Er_node Tag_list Tag_registry

@@ -1,0 +1,63 @@
+open Lxu_btree
+
+type key = { tid : int; sid : int; start : int; stop : int; level : int }
+
+module K = struct
+  type t = key
+
+  let compare a b =
+    let c = Int.compare a.tid b.tid in
+    if c <> 0 then c
+    else begin
+      let c = Int.compare a.sid b.sid in
+      if c <> 0 then c
+      else begin
+        let c = Int.compare a.start b.start in
+        if c <> 0 then c
+        else begin
+          let c = Int.compare a.stop b.stop in
+          if c <> 0 then c else Int.compare a.level b.level
+        end
+      end
+    end
+end
+
+module T = Bptree.Make (K)
+
+type t = { tree : unit T.t; mutable accesses : int }
+
+let create ?(branching = 32) () = { tree = T.create ~branching (); accesses = 0 }
+
+let size t = T.length t.tree
+
+let add t k =
+  t.accesses <- t.accesses + 1;
+  T.insert t.tree k ()
+
+let remove t k =
+  t.accesses <- t.accesses + 1;
+  T.remove t.tree k
+
+let iter_segment t ~tid ~sid f =
+  let lo = { tid; sid; start = min_int; stop = min_int; level = min_int } in
+  T.iter_from t.tree lo (fun k () ->
+      t.accesses <- t.accesses + 1;
+      if k.tid = tid && k.sid = sid then f k else false)
+
+let elements_of_segment t ~tid ~sid =
+  let acc = ref [] in
+  iter_segment t ~tid ~sid (fun k ->
+      acc := k :: !acc;
+      true);
+  Array.of_list (List.rev !acc)
+
+let iter_all t f = T.iter t.tree (fun k () -> f k)
+
+let accesses t = t.accesses
+
+let size_bytes t =
+  (* 5 ints per key plus tree node overhead, roughly. *)
+  let internal, leaves = T.node_counts t.tree in
+  (T.length t.tree * 5 * 8) + ((internal + leaves) * 64)
+
+let height t = T.height t.tree

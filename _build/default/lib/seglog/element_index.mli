@@ -1,0 +1,39 @@
+(** The element index (§3.4): a B{^+}-tree over
+    [(tid, sid, start, stop, level)] keys.
+
+    [start]/[stop] are the element's immutable virtual local positions
+    inside segment [sid], so index records never need updating when
+    other segments are inserted or removed — the whole point of the
+    lazy scheme.  [(sid, start)] identifies an element uniquely.
+
+    The prefix scan {!iter_segment} enumerates the elements of one tag
+    inside one segment in local document order, which is exactly what
+    Lazy-Join pushes on its stack. *)
+
+type key = { tid : int; sid : int; start : int; stop : int; level : int }
+
+type t
+
+val create : ?branching:int -> unit -> t
+val size : t -> int
+
+val add : t -> key -> unit
+val remove : t -> key -> bool
+
+val iter_segment : t -> tid:int -> sid:int -> (key -> bool) -> unit
+(** [iter_segment t ~tid ~sid f] applies [f] to the records of tag
+    [tid] in segment [sid] in ascending [start] order, stopping early
+    when [f] returns [false]. *)
+
+val elements_of_segment : t -> tid:int -> sid:int -> key array
+
+val iter_all : t -> (key -> unit) -> unit
+
+val accesses : t -> int
+(** Cumulative count of index operations (lookups, scans steps,
+    insertions, deletions) — a machine-independent cost metric. *)
+
+val size_bytes : t -> int
+(** Approximate in-memory footprint. *)
+
+val height : t -> int

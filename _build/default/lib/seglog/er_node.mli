@@ -1,0 +1,104 @@
+(** ER-tree nodes: one per XML segment (§3.2 of the paper).
+
+    A node records the segment's mutable {e physical} global position
+    [gp] and length [len], its immutable {e virtual} local position
+    [lp] within its parent, its parent/children links (children sorted
+    by [gp]) and the segment's element skeleton in virtual local
+    coordinates.
+
+    {b Coordinate model.}  Virtual coordinates are offsets into the
+    segment's original text at insertion time; element labels and child
+    [lp]s are virtual and never change.  Physical coordinates account
+    for text later deleted from the segment, recorded as {e tombstone}
+    ranges in virtual coordinates.  [len] is the physical length and
+    additionally includes the lengths of all descendant segments, as
+    maintained by the update algorithms of Figures 5 and 7. *)
+
+type elem = { start : int; stop : int; level : int; tid : int }
+(** An element of a segment: virtual local extent [start, stop) and
+    absolute depth [level] in the super document. *)
+
+type t = {
+  sid : int;
+  mutable gp : int;  (** physical global position of the first byte *)
+  mutable len : int;  (** physical length, descendants included *)
+  lp : int;  (** virtual local position within the parent; immutable *)
+  orig_len : int;  (** length of the original segment text *)
+  base_level : int;  (** depth of the insertion point *)
+  text : string;  (** original segment text (materialization oracle) *)
+  mutable parent : t option;
+  children : t Lxu_util.Vec.t;  (** sorted by [gp] *)
+  tombstones : (int * int) Lxu_util.Vec.t;
+      (** deleted virtual ranges of own text; sorted, disjoint,
+          non-adjacent *)
+  elems : elem Lxu_util.Vec.t;  (** surviving elements, sorted by [start] *)
+}
+
+val make_root : unit -> t
+(** The dummy root: sid 0, empty text, spans the whole super
+    document. *)
+
+val make :
+  sid:int -> gp:int -> lp:int -> base_level:int -> text:string -> elems:elem list -> t
+(** A fresh segment node; [len] and [orig_len] are the text length,
+    elements must be sorted by [start]. *)
+
+val is_root : t -> bool
+
+val own_len : t -> int
+(** Physical length of the node's own text: original length minus
+    tombstoned bytes (descendant segments excluded). *)
+
+val tombstoned_before : t -> int -> int
+(** Total tombstoned virtual bytes before virtual position [x]
+    (portions of tombstones extending past [x] excluded). *)
+
+val virt_of_own_phys : t -> int -> int
+(** Converts a physical offset within the node's own text (children
+    excluded) to a virtual offset, skipping past tombstones; an offset
+    landing on a tombstone boundary resolves after the gap. *)
+
+val virt_of_own_phys_before : t -> int -> int
+(** Like {!virt_of_own_phys} but a boundary offset resolves before the
+    gap — the smallest virtual position with the same physical
+    location.  Any position in between is physically equivalent;
+    insertion clamps within this interval to keep child local
+    positions ordered. *)
+
+val add_tombstone : t -> int -> int -> unit
+(** [add_tombstone t a b] marks virtual range [a, b) deleted, merging
+    with existing tombstones.  Ranges must cover only live bytes or
+    whole existing tombstones. *)
+
+val depth_at : t -> int -> int
+(** Absolute depth of virtual position [x]: [base_level] plus the
+    number of surviving elements strictly containing [x]. *)
+
+val path : t -> int array
+(** Sids from the dummy root down to this node (the tag-list path). *)
+
+val child_index_for_gp : t -> int -> int
+(** Index in [children] where a child with global position [gp] should
+    be inserted to keep the vector sorted (after any child with equal
+    [gp]). *)
+
+val phys_of_virt : t -> int -> int
+(** Global physical position of virtual offset [x] of this node's own
+    text: [gp] plus live own bytes before [x] plus the lengths of
+    children at positions [<= x] (a child inserted exactly at [x]
+    precedes it).  This realizes Definition 2 in reverse. *)
+
+val global_extent : t -> elem -> int * int
+(** Current global [(start, stop)] of an element, accounting for
+    tombstones and embedded child segments.  This is the local→global
+    translation that lets classical join algorithms run on the lazy
+    store (§4). *)
+
+val iter_subtree : t -> (t -> unit) -> unit
+(** Pre-order traversal of the node and its descendants. *)
+
+val check : t -> unit
+(** Validates subtree invariants: children sorted and disjoint,
+    lengths consistent, tombstones sorted/disjoint, elements sorted
+    and properly nested (test helper).
+    @raise Failure on violation. *)

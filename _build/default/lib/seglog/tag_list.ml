@@ -1,0 +1,75 @@
+open Lxu_util
+
+type entry = { sid : int; path : int array; mutable count : int }
+
+type t = {
+  lists : (int, entry Vec.t) Hashtbl.t;
+  mutable dirty : bool;
+  mutable path_ops : int;
+}
+
+let create () = { lists = Hashtbl.create 64; dirty = false; path_ops = 0 }
+
+let list_for t tid =
+  match Hashtbl.find_opt t.lists tid with
+  | Some v -> v
+  | None ->
+    let v = Vec.create () in
+    Hashtbl.add t.lists tid v;
+    v
+
+let add_sorted t ~tid entry ~gp_of =
+  let v = list_for t tid in
+  let gp = gp_of entry.sid in
+  let i = Vec.lower_bound v ~compare:(fun e -> if gp_of e.sid <= gp then -1 else 0) in
+  Vec.insert_at v i entry;
+  t.path_ops <- t.path_ops + 1
+
+let append t ~tid entry =
+  Vec.push (list_for t tid) entry;
+  t.dirty <- true;
+  t.path_ops <- t.path_ops + 1
+
+let sort_all t ~gp_of =
+  if t.dirty then begin
+    Hashtbl.iter (fun _ v -> Vec.sort (fun a b -> Int.compare (gp_of a.sid) (gp_of b.sid)) v)
+      t.lists;
+    t.dirty <- false
+  end
+
+let is_dirty t = t.dirty
+let mark_dirty t = t.dirty <- true
+
+let remove_where t v pred =
+  let kept = Vec.create () in
+  Vec.iter (fun e -> if pred e then t.path_ops <- t.path_ops + 1 else Vec.push kept e) v;
+  if Vec.length kept <> Vec.length v then begin
+    Vec.clear v;
+    Vec.iter (Vec.push v) kept
+  end
+
+let decrement t ~tid ~sid ~by =
+  match Hashtbl.find_opt t.lists tid with
+  | None -> ()
+  | Some v ->
+    Vec.iter (fun e -> if e.sid = sid then e.count <- e.count - by) v;
+    remove_where t v (fun e -> e.sid = sid && e.count <= 0)
+
+let remove_segment t ~sid =
+  Hashtbl.iter (fun _ v -> remove_where t v (fun e -> e.sid = sid)) t.lists
+
+let entries t ~tid =
+  if t.dirty then failwith "Tag_list.entries: dirty list, call sort_all first";
+  match Hashtbl.find_opt t.lists tid with
+  | None -> [||]
+  | Some v -> Vec.to_array v
+
+let tids t = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.lists [] |> List.sort Int.compare
+
+let path_ops t = t.path_ops
+
+let size_bytes t =
+  Hashtbl.fold
+    (fun _ v acc ->
+      acc + Vec.fold_left (fun a e -> a + (8 * (Array.length e.path + 3))) 0 v)
+    t.lists 0

@@ -1,0 +1,55 @@
+(** The tag-list (§3.2): an inverted list mapping each tag id to the
+    segments containing at least one element of that tag.
+
+    Each entry carries the segment's ER-tree {e path} (the sids of its
+    ancestors plus its own) and the count of elements of that tag in
+    the segment, which decides when to drop the entry on deletion
+    (§3.3).  Per-tag lists are kept sorted by the segments' current
+    global positions under the lazy-dynamic discipline; the
+    lazy-static discipline appends unsorted and sorts on demand just
+    before querying (§5.1). *)
+
+type entry = { sid : int; path : int array; mutable count : int }
+
+type t
+
+val create : unit -> t
+
+val add_sorted : t -> tid:int -> entry -> gp_of:(int -> int) -> unit
+(** Inserts the entry at its global-position rank (the LD discipline).
+    [gp_of] resolves a segment's current global position. *)
+
+val append : t -> tid:int -> entry -> unit
+(** Appends without sorting and marks the list dirty (the LS
+    discipline). *)
+
+val sort_all : t -> gp_of:(int -> int) -> unit
+(** Sorts every dirty per-tag list by segment global position — the
+    LS pre-query step.  No-op on clean lists. *)
+
+val is_dirty : t -> bool
+
+val mark_dirty : t -> unit
+(** Forces the next {!sort_all} to re-sort (benchmark helper for
+    re-measuring the LS pre-query cost). *)
+
+val decrement : t -> tid:int -> sid:int -> by:int -> unit
+(** Lowers the element count of [(tid, sid)]; the entry is removed
+    when the count reaches zero.  Unknown pairs are ignored (the
+    segment may already have been dropped). *)
+
+val remove_segment : t -> sid:int -> unit
+(** Removes the segment's entries from every per-tag list (full
+    segment deletion). *)
+
+val entries : t -> tid:int -> entry array
+(** Entries for a tag in global-position order.
+    @raise Failure if the list is dirty (call {!sort_all} first). *)
+
+val tids : t -> int list
+
+val path_ops : t -> int
+(** Cumulative count of path insertions/removals (cost metric). *)
+
+val size_bytes : t -> int
+(** Approximate footprint: the paper's O(T·N²) term. *)

@@ -1,0 +1,23 @@
+open Lxu_util
+
+type t = { ids : (string, int) Hashtbl.t; names : string Vec.t }
+
+let create () = { ids = Hashtbl.create 64; names = Vec.create () }
+
+let intern t tag =
+  match Hashtbl.find_opt t.ids tag with
+  | Some tid -> tid
+  | None ->
+    let tid = Vec.length t.names in
+    Hashtbl.add t.ids tag tid;
+    Vec.push t.names tag;
+    tid
+
+let find t tag = Hashtbl.find_opt t.ids tag
+
+let name t tid =
+  if tid < 0 || tid >= Vec.length t.names then
+    invalid_arg "Tag_registry.name: unknown tid";
+  Vec.get t.names tid
+
+let count t = Vec.length t.names

@@ -1,0 +1,627 @@
+open Lxu_util
+open Lxu_btree
+
+type mode = Lazy_dynamic | Lazy_static
+
+type metrics = {
+  mutable gp_shifts : int;
+  mutable nodes_visited : int;
+  mutable segments_inserted : int;
+  mutable segments_removed : int;
+  mutable elements_removed : int;
+}
+
+module Sb = Bptree.Make (Int)
+
+type t = {
+  mode : mode;
+  index_attributes : bool;
+  registry : Tag_registry.t;
+  root : Er_node.t;
+  mutable sb : Er_node.t Sb.t;
+  mutable sb_dirty : bool;
+  tag_list : Tag_list.t;
+  element_index : Element_index.t;
+  mutable next_sid : int;
+  branching : int;
+  metrics : metrics;
+}
+
+let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) () =
+  let root = Er_node.make_root () in
+  let sb = Sb.create ~branching () in
+  Sb.insert sb 0 root;
+  {
+    mode;
+    index_attributes;
+    registry = Tag_registry.create ();
+    root;
+    sb;
+    sb_dirty = false;
+    tag_list = Tag_list.create ();
+    element_index = Element_index.create ~branching ();
+    next_sid = 1;
+    branching;
+    metrics =
+      {
+        gp_shifts = 0;
+        nodes_visited = 0;
+        segments_inserted = 0;
+        segments_removed = 0;
+        elements_removed = 0;
+      };
+  }
+
+let mode t = t.mode
+let indexes_attributes t = t.index_attributes
+let doc_length t = t.root.Er_node.len
+
+let segment_count t =
+  let n = ref 0 in
+  Er_node.iter_subtree t.root (fun _ -> incr n);
+  !n - 1
+
+let element_count t = Element_index.size t.element_index
+let root t = t.root
+let registry t = t.registry
+let element_index t = t.element_index
+let metrics t = t.metrics
+let tag_list t = t.tag_list
+
+(* gp resolution used to keep tag lists sorted; walks the ER-tree
+   structures already in memory, independent of SB-tree freshness. *)
+let gp_table t =
+  let table = Hashtbl.create 256 in
+  Er_node.iter_subtree t.root (fun n -> Hashtbl.replace table n.Er_node.sid n.Er_node.gp);
+  fun sid -> Hashtbl.find table sid
+
+(* --- insertion (Figure 5) ------------------------------------------ *)
+
+let insert t ~gp text =
+  let open Er_node in
+  if text = "" then invalid_arg "Update_log.insert: empty segment";
+  if gp < 0 || gp > t.root.len then invalid_arg "Update_log.insert: gp out of bounds";
+  let nodes = Lxu_xml.Parser.parse_fragment text in
+  let len = String.length text in
+  (* Step 1: shift the global position of every segment at or after the
+     insertion point (AddNewSegment_Start). *)
+  Er_node.iter_subtree t.root (fun m ->
+      if (not (is_root m)) && m.gp >= gp then begin
+        m.gp <- m.gp + len;
+        t.metrics.gp_shifts <- t.metrics.gp_shifts + 1
+      end);
+  (* Step 2: descend to the parent segment, growing lengths on the way
+     (AddNewSegment).  A child still covers the insertion point iff
+     [c.gp < gp < c.gp + c.len]: shifted children now start after [gp],
+     and an unshifted child's length is not yet updated. *)
+  let rec descend s =
+    t.metrics.nodes_visited <- t.metrics.nodes_visited + 1;
+    s.len <- s.len + len;
+    let covering =
+      (* Only the last child starting before [gp] can cover it. *)
+      let i = child_index_for_gp s gp in
+      if i = 0 then None
+      else begin
+        let c = Vec.get s.children (i - 1) in
+        if c.gp < gp && gp < c.gp + c.len then Some c else None
+      end
+    in
+    match covering with Some c -> descend c | None -> s
+  in
+  let parent = descend t.root in
+  (* Step 3: local position (Definition 2), converted to the parent's
+     virtual coordinates. *)
+  let before_len =
+    Vec.fold_left
+      (fun acc (c : Er_node.t) -> if c.gp < gp then acc + c.len else acc)
+      0 parent.children
+  in
+  let x_phys = gp - parent.gp - before_len in
+  (* When [x_phys] sits on a tombstone boundary, every virtual position
+     across the gap is physically equivalent; clamp against the left
+     sibling's lp so child local positions stay ordered. *)
+  let lp =
+    let vlow = virt_of_own_phys_before parent x_phys in
+    let prev_lp =
+      let i = child_index_for_gp parent gp in
+      if i = 0 then vlow else (Vec.get parent.children (i - 1)).lp
+    in
+    max vlow prev_lp
+  in
+  let base_level = depth_at parent lp in
+  (* Step 4: build and link the node. *)
+  let sid = t.next_sid in
+  t.next_sid <- t.next_sid + 1;
+  let elems = ref [] in
+  Lxu_xml.Tree.iter_labels ~attributes:t.index_attributes ~base_level nodes
+    (fun ~name ~start ~stop ~level ->
+      elems := { start; stop; level; tid = Tag_registry.intern t.registry name } :: !elems);
+  let elems = List.rev !elems in
+  let node = Er_node.make ~sid ~gp ~lp ~base_level ~text ~elems in
+  node.parent <- Some parent;
+  Vec.insert_at parent.children (child_index_for_gp parent gp) node;
+  (* Step 5: SB-tree (kept fresh only under LD). *)
+  (match t.mode with
+  | Lazy_dynamic -> Sb.insert t.sb sid node
+  | Lazy_static -> t.sb_dirty <- true);
+  (* Step 6: element index. *)
+  List.iter
+    (fun (e : elem) ->
+      Element_index.add t.element_index
+        { tid = e.tid; sid; start = e.start; stop = e.stop; level = e.level })
+    elems;
+  (* Step 7: tag-list, one path entry per distinct tag in the segment. *)
+  let counts = Hashtbl.create 8 in
+  List.iter
+    (fun (e : elem) ->
+      Hashtbl.replace counts e.tid (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.tid)))
+    elems;
+  let path = Er_node.path node in
+  let gp_of = lazy (gp_table t) in
+  Hashtbl.iter
+    (fun tid count ->
+      let entry = { Tag_list.sid; path; count } in
+      match t.mode with
+      | Lazy_dynamic -> Tag_list.add_sorted t.tag_list ~tid entry ~gp_of:(Lazy.force gp_of)
+      | Lazy_static -> Tag_list.append t.tag_list ~tid entry)
+    counts;
+  t.metrics.segments_inserted <- t.metrics.segments_inserted + 1;
+  sid
+
+(* --- removal (Figure 7) -------------------------------------------- *)
+
+(* Pure pre-check mirroring [remove]'s gap computation: raises if the
+   range would split an element, before anything is mutated — a failed
+   removal must leave the log untouched. *)
+let validate_remove t ~gp ~len =
+  let open Er_node in
+  let rec walk (s : Er_node.t) x y =
+    let snapshot = Vec.to_list s.children |> List.map (fun k -> (k, k.gp, k.gp + k.len)) in
+    let own_gaps =
+      let gaps = ref [] in
+      let cursor = ref x in
+      List.iter
+        (fun (_, a, b) ->
+          if b <= x || a >= y then ()
+          else begin
+            if a > !cursor then gaps := (!cursor, a) :: !gaps;
+            cursor := max !cursor (min b y)
+          end)
+        snapshot;
+      if !cursor < y then gaps := (!cursor, y) :: !gaps;
+      List.rev !gaps
+    in
+    (match own_gaps with
+    | [] -> ()
+    | (u0, v0) :: _ ->
+      let local u =
+        let before_len =
+          List.fold_left (fun acc (_, a, b) -> if b <= u then acc + (b - a) else acc) 0 snapshot
+        in
+        u - s.gp - before_len
+      in
+      let ulast, vlast = match List.rev own_gaps with last :: _ -> last | [] -> (u0, v0) in
+      let vu = virt_of_own_phys s (local u0) in
+      let vv = virt_of_own_phys s (local ulast + (vlast - ulast)) in
+      Vec.iter
+        (fun (e : elem) ->
+          let crosses =
+            (e.start >= vu && e.start < vv && e.stop > vv)
+            || (e.start < vu && e.stop > vu && e.stop <= vv)
+          in
+          if crosses then
+            invalid_arg
+              "Update_log.remove: range splits an element (not a well-formed fragment)")
+        s.elems);
+    List.iter
+      (fun (k, a, b) ->
+        if b <= x || a >= y then ()
+        else if x <= a && b <= y then ()
+        else walk k (max a x) (min b y))
+      snapshot
+  in
+  walk t.root gp (gp + len)
+
+let remove t ~gp ~len =
+  let open Er_node in
+  if len <= 0 then invalid_arg "Update_log.remove: non-positive length";
+  if gp < 0 || gp + len > t.root.len then invalid_arg "Update_log.remove: range out of bounds";
+  validate_remove t ~gp ~len;
+  let y_end = gp + len in
+  let removed_sids = ref [] in
+  (* (sid, tid, count) decrements for partially affected segments. *)
+  let decrements = Hashtbl.create 8 in
+  let note_removed_elem sid (e : elem) =
+    let key = (sid, e.tid) in
+    Hashtbl.replace decrements key (1 + Option.value ~default:0 (Hashtbl.find_opt decrements key));
+    t.metrics.elements_removed <- t.metrics.elements_removed + 1;
+    ignore (Element_index.remove t.element_index
+              { tid = e.tid; sid; start = e.start; stop = e.stop; level = e.level })
+  in
+  let delete_subtree k =
+    Er_node.iter_subtree k (fun n ->
+        removed_sids := n.sid :: !removed_sids;
+        Vec.iter
+          (fun (e : elem) ->
+            t.metrics.elements_removed <- t.metrics.elements_removed + 1;
+            ignore (Element_index.remove t.element_index
+                      { tid = e.tid; sid = n.sid; start = e.start; stop = e.stop; level = e.level }))
+          n.elems;
+        match t.mode with
+        | Lazy_dynamic -> ignore (Sb.remove t.sb n.sid)
+        | Lazy_static -> t.sb_dirty <- true)
+  in
+  (* Removes virtual range [vu, vv) of [s]'s own text: tombstone it and
+     drop the elements it covered. *)
+  let tombstone_own s vu vv =
+    (* Collect covered elements first; reject element-splitting edits. *)
+    let kept = Vec.create () in
+    Vec.iter
+      (fun (e : elem) ->
+        let fully_inside = e.start >= vu && e.stop <= vv in
+        let crosses =
+          (e.start >= vu && e.start < vv && e.stop > vv)
+          || (e.start < vu && e.stop > vu && e.stop <= vv)
+        in
+        if crosses then
+          invalid_arg "Update_log.remove: range splits an element (not a well-formed fragment)";
+        if fully_inside then note_removed_elem s.sid e else Vec.push kept e)
+      s.elems;
+    Vec.clear s.elems;
+    Vec.iter (Vec.push s.elems) kept;
+    add_tombstone s vu vv
+  in
+  (* Recursive removal in pre-removal global coordinates; [x, y) is
+     contained in [s]'s span and [s] survives. *)
+  let rec remove_range s x y =
+    t.metrics.nodes_visited <- t.metrics.nodes_visited + 1;
+    s.len <- s.len - (y - x);
+    (* Pre-removal child extents. *)
+    let snapshot =
+      Vec.to_list s.children |> List.map (fun k -> (k, k.gp, k.gp + k.len))
+    in
+    (* Own-text bytes of [x, y): the parts not covered by children, in
+       left-to-right order. *)
+    let own_gaps =
+      let gaps = ref [] in
+      let cursor = ref x in
+      List.iter
+        (fun (_, a, b) ->
+          if b <= x || a >= y then ()
+          else begin
+            if a > !cursor then gaps := (!cursor, a) :: !gaps;
+            cursor := max !cursor (min b y)
+          end)
+        snapshot;
+      if !cursor < y then gaps := (!cursor, y) :: !gaps;
+      List.rev !gaps
+    in
+    (* The gaps form one contiguous virtual range: any child strictly
+       between two gaps is fully covered by the removal, so it occupies
+       zero virtual width.  Convert the extreme points to virtual
+       coordinates and tombstone once — per-gap tombstones would
+       wrongly report an element spanning a removed child as split. *)
+    (match own_gaps with
+    | [] -> ()
+    | (u0, v0) :: _ ->
+      let local u =
+        let before_len =
+          List.fold_left (fun acc (_, a, b) -> if b <= u then acc + (b - a) else acc) 0 snapshot
+        in
+        u - s.gp - before_len
+      in
+      let ulast, vlast =
+        match List.rev own_gaps with last :: _ -> last | [] -> (u0, v0)
+      in
+      let vu = virt_of_own_phys s (local u0) in
+      let vv = virt_of_own_phys s (local ulast + (vlast - ulast)) in
+      tombstone_own s vu vv);
+    (* Children cases of §3.3. *)
+    List.iter
+      (fun (k, a, b) ->
+        if b <= x || a >= y then () (* untouched here; global shift follows *)
+        else if x <= a && b <= y then begin
+          (* Case 2: k is contained in the removed range. *)
+          let idx = ref (-1) in
+          Vec.iteri (fun i c -> if c == k then idx := i) s.children;
+          ignore (Vec.remove_at s.children !idx);
+          delete_subtree k
+        end
+        else begin
+          (* Cases 1 and 3: recurse with the clipped range (the
+             auxiliary segment of Figure 7). *)
+          let sx = max a x and sy = min b y in
+          remove_range k sx sy;
+          (* Right intersection: the survivors of k start at the end of
+             the removed range (pre-shift coordinates). *)
+          if sx = a then k.gp <- sy
+        end)
+      snapshot
+  in
+  remove_range t.root gp y_end;
+  (* Global shift (RemoveSegment_Start, applied once at the end so the
+     recursion works in one coordinate system). *)
+  Er_node.iter_subtree t.root (fun m ->
+      if (not (is_root m)) && m.gp >= y_end then begin
+        m.gp <- m.gp - len;
+        t.metrics.gp_shifts <- t.metrics.gp_shifts + 1
+      end);
+  (* Tag-list maintenance. *)
+  List.iter (fun sid -> Tag_list.remove_segment t.tag_list ~sid) !removed_sids;
+  Hashtbl.iter
+    (fun (sid, tid) count -> Tag_list.decrement t.tag_list ~tid ~sid ~by:count)
+    decrements;
+  t.metrics.segments_removed <- t.metrics.segments_removed + List.length !removed_sids
+
+(* --- query-side accessors ------------------------------------------ *)
+
+let mark_stale t =
+  t.sb_dirty <- true;
+  Tag_list.mark_dirty t.tag_list
+
+let prepare_for_query t =
+  if t.sb_dirty then begin
+    let sb = Sb.create ~branching:t.branching () in
+    Er_node.iter_subtree t.root (fun n -> Sb.insert sb n.Er_node.sid n);
+    t.sb <- sb;
+    t.sb_dirty <- false
+  end;
+  if Tag_list.is_dirty t.tag_list then Tag_list.sort_all t.tag_list ~gp_of:(gp_table t)
+
+let node_of_sid t sid =
+  if t.sb_dirty then failwith "Update_log.node_of_sid: stale SB-tree, call prepare_for_query";
+  match Sb.find t.sb sid with Some n -> n | None -> raise Not_found
+
+let segments_for_tag t ~tag =
+  match Tag_registry.find t.registry tag with
+  | None -> [||]
+  | Some tid -> Tag_list.entries t.tag_list ~tid
+
+let elements_of t ~tid ~sid = Element_index.elements_of_segment t.element_index ~tid ~sid
+
+(* --- materialization oracle ---------------------------------------- *)
+
+let materialize t =
+  let buf = Buffer.create (doc_length t + 16) in
+  let rec emit (n : Er_node.t) =
+    (* Emits live own text of virtual range [u, v). *)
+    let emit_own u v =
+      let cursor = ref u in
+      Vec.iter
+        (fun (a, b) ->
+          if b > u && a < v then begin
+            if a > !cursor then Buffer.add_substring buf n.text !cursor (a - !cursor);
+            cursor := max !cursor (min b v)
+          end)
+        n.tombstones;
+      if !cursor < v then Buffer.add_substring buf n.text !cursor (v - !cursor)
+    in
+    let cursor = ref 0 in
+    Vec.iter
+      (fun (c : Er_node.t) ->
+        emit_own !cursor c.lp;
+        emit c;
+        cursor := c.lp)
+      n.children;
+    emit_own !cursor n.orig_len
+  in
+  emit t.root;
+  Buffer.contents buf
+
+let global_elements t ~tag =
+  match Tag_registry.find t.registry tag with
+  | None -> []
+  | Some tid ->
+    let acc = ref [] in
+    Er_node.iter_subtree t.root (fun n ->
+        Vec.iter
+          (fun (e : Er_node.elem) ->
+            if e.tid = tid then begin
+              let gstart, gstop = Er_node.global_extent n e in
+              acc := (gstart, gstop, e.level) :: !acc
+            end)
+          n.elems);
+    List.sort compare !acc
+
+(* --- sizes and checks ----------------------------------------------- *)
+
+let sb_size_bytes t =
+  let n = ref 0 in
+  Er_node.iter_subtree t.root (fun node ->
+      (* sid, gp, len, lp, parent pointer, child pointers, tombstones. *)
+      n := !n + (8 * (8 + Vec.length node.Er_node.children + (2 * Vec.length node.Er_node.tombstones))));
+  !n
+
+let tag_list_size_bytes t = Tag_list.size_bytes t.tag_list
+
+let size_bytes t = sb_size_bytes t + tag_list_size_bytes t
+
+let check t =
+  Er_node.check t.root;
+  (* Element index agrees with the per-segment skeletons. *)
+  let skeleton_count = ref 0 in
+  Er_node.iter_subtree t.root (fun n ->
+      Vec.iter
+        (fun (e : Er_node.elem) ->
+          incr skeleton_count;
+          let key =
+            {
+              Element_index.tid = e.tid;
+              sid = n.Er_node.sid;
+              start = e.start;
+              stop = e.stop;
+              level = e.level;
+            }
+          in
+          ignore key)
+        n.Er_node.elems);
+  if Element_index.size t.element_index <> !skeleton_count then
+    failwith
+      (Printf.sprintf "element index has %d records, skeletons have %d"
+         (Element_index.size t.element_index) !skeleton_count);
+  (* Tag-list counts agree with the skeletons (sorting first: LS lists
+     may be dirty, and sorting does not change their contents). *)
+  Tag_list.sort_all t.tag_list ~gp_of:(gp_table t);
+  let counts = Hashtbl.create 64 in
+  Er_node.iter_subtree t.root (fun n ->
+      Vec.iter
+        (fun (e : Er_node.elem) ->
+          let key = (e.Er_node.tid, n.Er_node.sid) in
+          Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key)))
+        n.Er_node.elems);
+  let listed = Hashtbl.create 64 in
+  List.iter
+    (fun tid ->
+      Array.iter
+        (fun (e : Tag_list.entry) -> Hashtbl.replace listed (tid, e.sid) e.count)
+        (Tag_list.entries t.tag_list ~tid))
+    (Tag_list.tids t.tag_list);
+  Hashtbl.iter
+    (fun key count ->
+      match Hashtbl.find_opt listed key with
+      | Some c when c = count -> ()
+      | Some c ->
+        failwith
+          (Printf.sprintf "tag-list count for (tid %d, sid %d) is %d, skeleton says %d"
+             (fst key) (snd key) c count)
+      | None ->
+        failwith (Printf.sprintf "tag-list misses (tid %d, sid %d)" (fst key) (snd key)))
+    counts;
+  Hashtbl.iter
+    (fun key _ ->
+      if not (Hashtbl.mem counts key) then
+        failwith (Printf.sprintf "tag-list has stale entry (tid %d, sid %d)" (fst key) (snd key)))
+    listed;
+  (* SB-tree agrees with the ER-tree under LD. *)
+  if t.mode = Lazy_dynamic && not t.sb_dirty then begin
+    let live = ref 0 in
+    Er_node.iter_subtree t.root (fun n ->
+        incr live;
+        match Sb.find t.sb n.Er_node.sid with
+        | Some m when m == n -> ()
+        | _ -> failwith (Printf.sprintf "SB-tree misses segment %d" n.Er_node.sid));
+    if Sb.length t.sb <> !live then failwith "SB-tree holds stale segments"
+  end
+
+(* --- snapshots ------------------------------------------------------- *)
+
+(* A line-oriented format with length-prefixed raw text blocks.
+   Everything needed to reproduce behaviour exactly is stored:
+   segments in pre-order with their immutable virtual data (text, lp,
+   base level, elements, tombstones) plus current gp/len; derived
+   structures are rebuilt on load. *)
+
+let snapshot_magic = "LAZYXML-SNAPSHOT-1"
+
+let save t oc =
+  let open Er_node in
+  Printf.fprintf oc "%s\n" snapshot_magic;
+  Printf.fprintf oc "mode %s\n"
+    (match t.mode with Lazy_dynamic -> "LD" | Lazy_static -> "LS");
+  Printf.fprintf oc "attrs %b\n" t.index_attributes;
+  Printf.fprintf oc "next_sid %d\n" t.next_sid;
+  Printf.fprintf oc "tags %d\n" (Tag_registry.count t.registry);
+  for tid = 0 to Tag_registry.count t.registry - 1 do
+    Printf.fprintf oc "%s\n" (Tag_registry.name t.registry tid)
+  done;
+  let count = ref 0 in
+  iter_subtree t.root (fun _ -> incr count);
+  Printf.fprintf oc "segments %d\n" (!count - 1);
+  iter_subtree t.root (fun n ->
+      if not (is_root n) then begin
+        let parent_sid =
+          match n.parent with Some p -> p.sid | None -> failwith "orphan segment"
+        in
+        Printf.fprintf oc "seg %d %d %d %d %d %d %d %d %d\n" n.sid parent_sid n.gp n.len
+          n.lp n.base_level n.orig_len (Vec.length n.tombstones) (Vec.length n.elems);
+        output_string oc n.text;
+        output_char oc '\n';
+        Vec.iter (fun (a, b) -> Printf.fprintf oc "t %d %d\n" a b) n.tombstones;
+        Vec.iter
+          (fun (e : elem) -> Printf.fprintf oc "e %d %d %d %d\n" e.start e.stop e.level e.tid)
+          n.elems
+      end)
+
+let full_check = check
+
+let load ic =
+  let open Er_node in
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let line () = try input_line ic with End_of_file -> fail "snapshot truncated" in
+  let scan fmt k =
+    let l = line () in
+    try Scanf.sscanf l fmt k with Scanf.Scan_failure _ | Failure _ -> fail "bad snapshot line: %s" l
+  in
+  if line () <> snapshot_magic then fail "not a lazy-xml snapshot";
+  let mode =
+    scan "mode %s" (function
+      | "LD" -> Lazy_dynamic
+      | "LS" -> Lazy_static
+      | m -> fail "unknown mode %s" m)
+  in
+  let index_attributes = scan "attrs %B" Fun.id in
+  let next_sid = scan "next_sid %d" Fun.id in
+  let t = create ~mode ~index_attributes () in
+  t.next_sid <- next_sid;
+  let tag_count = scan "tags %d" Fun.id in
+  for expected = 0 to tag_count - 1 do
+    let tid = Tag_registry.intern t.registry (line ()) in
+    if tid <> expected then fail "tag table out of order"
+  done;
+  let seg_count = scan "segments %d" Fun.id in
+  let by_sid = Hashtbl.create (seg_count + 1) in
+  Hashtbl.add by_sid 0 t.root;
+  for _ = 1 to seg_count do
+    let sid, parent_sid, gp, len, lp, base_level, orig_len, n_tomb, n_elems =
+      scan "seg %d %d %d %d %d %d %d %d %d" (fun a b c d e f g h i ->
+          (a, b, c, d, e, f, g, h, i))
+    in
+    let text = really_input_string ic orig_len in
+    (match input_char ic with
+    | '\n' -> ()
+    | _ -> fail "missing newline after segment text"
+    | exception End_of_file -> fail "snapshot truncated");
+    let node = Er_node.make ~sid ~gp ~lp ~base_level ~text ~elems:[] in
+    node.len <- len;
+    for _ = 1 to n_tomb do
+      let a, b = scan "t %d %d" (fun a b -> (a, b)) in
+      Vec.push node.tombstones (a, b)
+    done;
+    for _ = 1 to n_elems do
+      let start, stop, level, tid =
+        scan "e %d %d %d %d" (fun a b c d -> (a, b, c, d))
+      in
+      Vec.push node.elems { start; stop; level; tid }
+    done;
+    let parent =
+      match Hashtbl.find_opt by_sid parent_sid with
+      | Some p -> p
+      | None -> fail "segment %d arrives before its parent %d" sid parent_sid
+    in
+    node.parent <- Some parent;
+    Vec.push parent.children node;
+    Hashtbl.add by_sid sid node
+  done;
+  (* Root length is the sum of its children (it has no own text). *)
+  t.root.len <- Vec.fold_left (fun acc (c : Er_node.t) -> acc + c.len) 0 t.root.children;
+  (* Rebuild derived structures: element index and tag lists from the
+     skeletons, SB-tree from the ER-tree. *)
+  Er_node.iter_subtree t.root (fun n ->
+      if not (is_root n) then begin
+        let counts = Hashtbl.create 8 in
+        Vec.iter
+          (fun (e : elem) ->
+            Element_index.add t.element_index
+              { tid = e.tid; sid = n.sid; start = e.start; stop = e.stop; level = e.level };
+            Hashtbl.replace counts e.tid
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.tid)))
+          n.elems;
+        let path = Er_node.path n in
+        Hashtbl.iter
+          (fun tid count -> Tag_list.append t.tag_list ~tid { Tag_list.sid = n.sid; path; count })
+          counts
+      end);
+  t.sb_dirty <- true;
+  prepare_for_query t;
+  full_check t;
+  t

@@ -1,0 +1,125 @@
+(** The in-memory update log (§3): SB-tree + ER-tree + tag-list +
+    element index, with the segment insertion and removal algorithms of
+    Figures 5 and 7.
+
+    The super document starts empty (a dummy root).  [insert] adds a
+    well-formed XML fragment at a global byte position; [remove]
+    deletes a byte range that must itself be a well-formed fragment of
+    the current document.  Existing element labels are never touched:
+    elements are keyed by [(tid, sid, local start)] in the element
+    index, and only the small per-segment bookkeeping (global
+    positions, lengths) moves.
+
+    Two maintenance disciplines mirror the paper's experiments:
+    {ul
+    {- [Lazy_dynamic] (LD): the SB B{^+}-tree and the tag-list are kept
+       query-ready on every update.}
+    {- [Lazy_static] (LS): updates only maintain the ER-tree; the
+       SB-tree is rebuilt and tag lists sorted by
+       {!prepare_for_query}.}} *)
+
+type mode = Lazy_dynamic | Lazy_static
+
+type metrics = {
+  mutable gp_shifts : int;
+      (** segment global positions updated by inserts/removes *)
+  mutable nodes_visited : int;  (** ER-tree nodes examined *)
+  mutable segments_inserted : int;
+  mutable segments_removed : int;
+  mutable elements_removed : int;
+}
+
+type t
+
+val create : ?mode:mode -> ?index_attributes:bool -> ?branching:int -> unit -> t
+(** An empty super document. [mode] defaults to [Lazy_dynamic];
+    [index_attributes] (default false) additionally indexes every
+    attribute as a subelement named ["@name"] (§1: "attributes can be
+    considered as subelements"); [branching] is used for the SB-tree
+    and element index. *)
+
+val mode : t -> mode
+val indexes_attributes : t -> bool
+val doc_length : t -> int
+val segment_count : t -> int
+(** Live segments, dummy root excluded. *)
+
+val element_count : t -> int
+val root : t -> Er_node.t
+val registry : t -> Tag_registry.t
+val element_index : t -> Element_index.t
+val metrics : t -> metrics
+
+val insert : t -> gp:int -> string -> int
+(** [insert t ~gp text] inserts segment [text] at global position
+    [gp] and returns its fresh sid.  [gp] must be a valid split point
+    of the current document (between nodes or inside text content —
+    the paper's text-editing model guarantees this for real updates).
+    @raise Invalid_argument if [gp] is out of bounds or [text] is empty.
+    @raise Lxu_xml.Parser.Parse_error if [text] is not a well-formed
+    fragment. *)
+
+val remove : t -> gp:int -> len:int -> unit
+(** [remove t ~gp ~len] deletes the byte range [gp, gp+len), updating
+    segment bookkeeping per Figure 7: enclosing segments shrink,
+    covered segments disappear, left/right-intersected segments lose
+    their tail/head.
+    @raise Invalid_argument if the range is out of bounds or would
+    split an element; a rejected removal leaves the log unchanged.
+    Detection works at element granularity: a range whose endpoints
+    both fall inside one element's tags or inside comments/PIs (which
+    are not indexed) is the caller's responsibility, as in the paper's
+    text-editing model. *)
+
+val mark_stale : t -> unit
+(** Marks the SB-tree and tag lists stale so the next
+    {!prepare_for_query} rebuilds and re-sorts them — a benchmark
+    helper for measuring the LS pre-query cost repeatedly. *)
+
+val prepare_for_query : t -> unit
+(** Brings an [Lazy_static] log to a query-ready state: rebuilds the
+    SB B{^+}-tree from the ER-tree and sorts the tag lists.  No-op
+    under [Lazy_dynamic]. *)
+
+val node_of_sid : t -> int -> Er_node.t
+(** SB-tree lookup.  Under [Lazy_static], call {!prepare_for_query}
+    first. @raise Not_found on unknown or removed sids. *)
+
+val segments_for_tag : t -> tag:string -> Tag_list.entry array
+(** Tag-list lookup: segments containing the tag, in global-position
+    order (the [SL] input lists of Lazy-Join). *)
+
+val elements_of : t -> tid:int -> sid:int -> Element_index.key array
+(** Elements of one tag in one segment, in local order. *)
+
+val tag_list : t -> Tag_list.t
+
+val materialize : t -> string
+(** Reconstructs the full super-document text from the ER-tree — the
+    correctness oracle: it must equal the text produced by applying
+    the same edits to a plain string. *)
+
+val global_elements : t -> tag:string -> (int * int * int) list
+(** [(gstart, gstop, level)] of every live element of the tag, in
+    global document order — the local→global translation feeding the
+    classical-join baseline. *)
+
+val sb_size_bytes : t -> int
+val tag_list_size_bytes : t -> int
+val size_bytes : t -> int
+(** Total update-log footprint (Figure 11a). *)
+
+val check : t -> unit
+(** Full invariant check across the ER-tree, SB-tree, element index
+    and tag-list (test helper). @raise Failure on violation. *)
+
+val save : t -> out_channel -> unit
+(** Serializes the complete log — segment tree with virtual
+    coordinates, tombstones, element skeletons, tag registry — so a
+    {!load} restores byte-identical behaviour, including local labels
+    (a re-chop of the materialized text would assign new ones). *)
+
+val load : in_channel -> t
+(** Restores a log written by {!save}; derived structures (SB-tree,
+    element index, tag lists) are rebuilt from the segment data.
+    @raise Failure on a malformed or incompatible snapshot. *)

@@ -1,0 +1,1 @@
+lib/workload/chopper.ml: Array Buffer List Lxu_xml Parser String Tree

@@ -1,0 +1,1 @@
+lib/workload/generator.ml: Array Buffer Char Fun List Lxu_xml Printer Printf Rng String Tree

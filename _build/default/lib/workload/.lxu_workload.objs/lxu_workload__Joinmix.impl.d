@@ -1,0 +1,1 @@
+lib/workload/joinmix.ml: Array Buffer Int List String

@@ -1,0 +1,1 @@
+lib/workload/xmark.ml: Array Char List Lxu_xml Printer Printf Rng String Tree

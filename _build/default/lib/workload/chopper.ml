@@ -1,0 +1,107 @@
+open Lxu_xml
+
+type shape = Balanced | Nested
+
+(* All element extents in pre-order, with depth. *)
+let extents text =
+  let nodes = Parser.parse_fragment text in
+  let acc = ref [] in
+  Tree.iter_elements nodes (fun e ~level ->
+      acc := (e.Tree.e_start, e.Tree.e_end, level) :: !acc);
+  List.rev !acc
+
+(* Disjoint subtrees of roughly [len/segments] bytes each. *)
+let balanced_splits text segments =
+  let len = String.length text in
+  let budget = max 8 (len / segments) in
+  let chosen = ref [] in
+  let last_end = ref (-1) in
+  List.iter
+    (fun (s, e, _) ->
+      if
+        List.length !chosen < segments - 1
+        && s >= !last_end
+        && e - s <= 2 * budget
+        && e - s < len
+      then begin
+        chosen := (s, e) :: !chosen;
+        last_end := e
+      end)
+    (extents text);
+  List.rev !chosen
+
+(* A chain of nested elements along the deepest root-to-leaf path. *)
+let nested_splits text segments =
+  let all = extents text in
+  let deepest =
+    List.fold_left
+      (fun best (s, e, d) ->
+        match best with
+        | Some (_, _, bd) when bd >= d -> best
+        | _ -> Some (s, e, d))
+      None all
+  in
+  match deepest with
+  | None -> []
+  | Some (ds, de, _) ->
+    (* Ancestors of the deepest element, outermost first. *)
+    let chain =
+      List.filter (fun (s, e, _) -> s <= ds && e >= de) all
+      |> List.map (fun (s, e, _) -> (s, e))
+    in
+    let n = List.length chain in
+    let want = min (segments - 1) n in
+    if want <= 0 then []
+    else begin
+      let chain = Array.of_list chain in
+      (* Evenly spaced along the chain, keeping nesting order. *)
+      List.init want (fun i -> chain.(i * n / want))
+      |> List.sort_uniq compare
+    end
+
+(* Splices [text[s..e)] with the given sub-ranges removed. *)
+let splice text s e removed =
+  let buf = Buffer.create (e - s) in
+  let cursor = ref s in
+  List.iter
+    (fun (rs, re) ->
+      if rs > !cursor then Buffer.add_substring buf text !cursor (rs - !cursor);
+      cursor := max !cursor re)
+    (List.sort compare removed);
+  if !cursor < e then Buffer.add_substring buf text !cursor (e - !cursor);
+  Buffer.contents buf
+
+let chop ~text ~segments shape =
+  if segments < 1 then invalid_arg "Chopper.chop: segments < 1";
+  if text = "" then invalid_arg "Chopper.chop: empty text";
+  let splits =
+    match shape with
+    | Balanced -> balanced_splits text segments
+    | Nested -> nested_splits text segments
+  in
+  let splits = List.sort compare splits in
+  (* Direct split children of a range: maximal splits strictly inside. *)
+  let direct_children (s, e) =
+    let inside = List.filter (fun (cs, ce) -> s < cs && ce <= e && (cs, ce) <> (s, e)) splits in
+    List.filter
+      (fun (cs, ce) ->
+        not
+          (List.exists
+             (fun (os, oe) -> (os, oe) <> (cs, ce) && os <= cs && ce <= oe)
+             inside))
+      inside
+  in
+  let top =
+    List.filter
+      (fun (s, e) ->
+        not (List.exists (fun (os, oe) -> (os, oe) <> (s, e) && os <= s && e <= oe) splits))
+      splits
+  in
+  let base = splice text 0 (String.length text) top in
+  let edits =
+    List.map (fun (s, e) -> (s, splice text s e (direct_children (s, e)))) splits
+  in
+  let edits = List.filter (fun (_, frag) -> frag <> "") edits in
+  if base = "" then edits else (0, base) :: edits
+
+let segment_count = List.length

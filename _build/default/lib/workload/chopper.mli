@@ -1,0 +1,22 @@
+(** Document chopping: turning one XML document into a segment
+    insertion schedule (§5.1: "we chopped the data sets into many
+    small segments and inserted these segments into an initially dummy
+    XML document").
+
+    [Balanced] picks disjoint subtrees spread across the document, so
+    the resulting ER-tree is flat and bushy; [Nested] picks a chain of
+    nested elements, producing the paper's worst-case chain-shaped
+    ER-tree.  Applying the returned edits in order to an empty super
+    document reconstructs exactly the input text. *)
+
+type shape = Balanced | Nested
+
+val chop : text:string -> segments:int -> shape -> (int * string) list
+(** [chop ~text ~segments shape] returns an insertion schedule of at
+    most [segments] edits (fewer when the document doesn't offer
+    enough split points, e.g. a shallow tree under [Nested]).
+    @raise Lxu_xml.Parser.Parse_error if [text] is ill-formed.
+    @raise Invalid_argument if [segments < 1] or [text] is empty. *)
+
+val segment_count : (int * string) list -> int
+(** Number of edits in a schedule. *)

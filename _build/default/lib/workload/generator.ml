@@ -1,0 +1,102 @@
+open Lxu_xml
+
+type params = {
+  tags : string array;
+  max_depth : int;
+  max_fanout : int;
+  text_chance_pct : int;
+  text_len : int;
+}
+
+let default_params =
+  {
+    tags = [| "a"; "b"; "c"; "d"; "e"; "f"; "g"; "h" |];
+    max_depth = 8;
+    max_fanout = 5;
+    text_chance_pct = 30;
+    text_len = 12;
+  }
+
+let random_text rng len =
+  String.init len (fun _ -> Char.chr (Char.code 'a' + Rng.int rng 26))
+
+let generate ?(params = default_params) ~seed ~target_elements () =
+  let rng = Rng.create seed in
+  let made = ref 0 in
+  (* The budget is enforced during recursion, so the total element
+     count stays close to the target instead of overshooting by whole
+     subtrees. *)
+  let rec element depth =
+    incr made;
+    let tag = Rng.pick rng params.tags in
+    let kids =
+      if depth >= params.max_depth then []
+      else begin
+        let n = Rng.int rng (params.max_fanout + 1) in
+        List.filter_map
+          (fun _ ->
+            if Rng.int rng 100 < params.text_chance_pct then
+              Some (Tree.txt (random_text rng params.text_len))
+            else if !made < target_elements then Some (element (depth + 1))
+            else None)
+          (List.init n Fun.id)
+      end
+    in
+    Tree.el tag kids
+  in
+  let roots = ref [] in
+  while !made < target_elements do
+    roots := element 0 :: !roots
+  done;
+  List.rev !roots
+
+let generate_text ?params ~seed ~target_elements () =
+  Printer.render (generate ?params ~seed ~target_elements ())
+
+let generate_with_spine ?(params = default_params) ~seed ~target_elements ~spine_depth () =
+  let rng = Rng.create seed in
+  let made = ref 0 in
+  (* Random filler subtree of bounded size. *)
+  let rec filler depth budget =
+    incr made;
+    decr budget;
+    let tag = Rng.pick rng params.tags in
+    let kids =
+      if depth >= params.max_depth || !budget <= 0 then []
+      else
+        List.filter_map
+          (fun _ ->
+            if Rng.int rng 100 < params.text_chance_pct then
+              Some (Tree.txt (random_text rng params.text_len))
+            else if !budget > 0 then Some (filler (depth + 1) budget)
+            else None)
+          (List.init (Rng.int rng (params.max_fanout + 1)) Fun.id)
+    in
+    Tree.el tag kids
+  in
+  let per_level = max 1 ((target_elements - spine_depth) / max 1 spine_depth) in
+  let rec spine level =
+    incr made;
+    let content =
+      List.init
+        (1 + Rng.int rng 2)
+        (fun _ -> filler 0 (ref per_level))
+    in
+    let deeper = if level >= spine_depth then [] else [ spine (level + 1) ] in
+    Tree.el (Rng.pick rng params.tags) (content @ deeper)
+  in
+  [ spine 1 ]
+
+let generate_with_spine_text ?params ~seed ~target_elements ~spine_depth () =
+  Printer.render (generate_with_spine ?params ~seed ~target_elements ~spine_depth ())
+
+let deep_chain ~tags ~depth ~payload =
+  if depth < 1 then invalid_arg "Generator.deep_chain: depth < 1";
+  let buf = Buffer.create (depth * 16) in
+  for i = 0 to depth - 1 do
+    Buffer.add_string buf (Printf.sprintf "<%s>%s" tags.(i mod Array.length tags) payload)
+  done;
+  for i = depth - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "</%s>" tags.(i mod Array.length tags))
+  done;
+  Buffer.contents buf

@@ -1,0 +1,84 @@
+type shape = Balanced | Nested
+
+type spec = {
+  segments : int;
+  pairs_per_segment : int;
+  cross_percent : int;
+  shape : shape;
+}
+
+type schedule = {
+  edits : (int * string) list;
+  expected_in_pairs : int;
+  expected_cross_pairs : int;
+  anc_tag : string;
+  desc_tag : string;
+}
+
+(* Normal segment: one A wrapping d D-elements and a cross-hook <c>,
+   followed by a nesting hook <n> outside the A (so chaining through
+   <n> creates no accidental cross joins). *)
+let normal_fragment d =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf "<A>";
+  for _ = 1 to d do
+    Buffer.add_string buf "<D/>"
+  done;
+  Buffer.add_string buf "<c></c></A><n></n>";
+  Buffer.contents buf
+
+(* Byte offsets of the hook interiors inside [normal_fragment d]. *)
+let c_interior d = 3 + (4 * d) + 3
+let n_interior d = String.length (normal_fragment d) - 4
+
+(* Cross-carrier segment: d D-elements whose only A-ancestor in scope
+   is the partner's A, plus one join-neutral A to keep the per-segment
+   element counts identical to a normal segment's. *)
+let cross_fragment d =
+  let buf = Buffer.create 32 in
+  Buffer.add_string buf "<A>t</A>";
+  for _ = 1 to d do
+    Buffer.add_string buf "<D/>"
+  done;
+  Buffer.contents buf
+
+let generate spec =
+  if spec.segments < 2 then invalid_arg "Joinmix.generate: need at least 2 segments";
+  if spec.pairs_per_segment < 1 then invalid_arg "Joinmix.generate: pairs_per_segment < 1";
+  if spec.cross_percent < 0 || spec.cross_percent > 100 then
+    invalid_arg "Joinmix.generate: cross_percent out of range";
+  let d = spec.pairs_per_segment in
+  let n_cross = spec.segments * spec.cross_percent / 100 in
+  (* At least one normal segment must exist to host cross carriers. *)
+  let n_cross = min n_cross (spec.segments - 1) in
+  let n_norm = spec.segments - n_cross in
+  let frag = normal_fragment d in
+  let edits = ref [] in
+  (* Phase 1: the A-carrying segments, shaped balanced or nested.
+     Every insertion lands at or after all previously recorded
+     positions, so recorded hook offsets stay valid. *)
+  let c_points = Array.make n_norm 0 in
+  let cursor = ref 0 in
+  for i = 0 to n_norm - 1 do
+    let gp = !cursor in
+    edits := (gp, frag) :: !edits;
+    c_points.(i) <- gp + c_interior d;
+    cursor :=
+      (match spec.shape with
+      | Balanced -> gp + String.length frag  (* append as a sibling *)
+      | Nested -> gp + n_interior d (* descend into this segment's <n> *))
+  done;
+  (* Phase 2: cross carriers, attached to partners' <c> hooks in
+     decreasing position order so earlier hook offsets never shift. *)
+  let cfrag = cross_fragment d in
+  let attach =
+    List.init n_cross (fun k -> c_points.(n_norm - 1 - (k mod n_norm)))
+    |> List.sort (fun a b -> Int.compare b a)
+  in
+  {
+    edits = List.rev !edits @ List.map (fun gp -> (gp, cfrag)) attach;
+    expected_in_pairs = n_norm * d;
+    expected_cross_pairs = n_cross * d;
+    anc_tag = "A";
+    desc_tag = "D";
+  }

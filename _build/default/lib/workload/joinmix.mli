@@ -1,0 +1,37 @@
+(** Join-mix workload: documents with a controlled percentage of
+    cross-segment joins (the Figure 12 experiment).
+
+    The generator emits an edit schedule — a list of [(gp, fragment)]
+    insertions — that builds a super document of [segments] segments,
+    each contributing exactly [pairs_per_segment] A//D join pairs.
+    [cross_percent] of the segments carry their D-elements in a child
+    segment attached {e inside} a partner segment's A-element, turning
+    their pairs into cross-segment joins; the rest keep their
+    D-elements under their own A (in-segment joins).  Total segments,
+    elements and join pairs stay fixed as the percentage varies, which
+    is exactly the controlled variable of the experiment.
+
+    The ER-tree [shape] knob places the A-carrying segments either as
+    siblings ([Balanced]) or as a chain, each inserted inside a hook
+    element of the previous one, outside its A ([Nested]) — the
+    paper's best and worst cases for segment-list processing. *)
+
+type shape = Balanced | Nested
+
+type spec = {
+  segments : int;  (** total segments, at least 2 *)
+  pairs_per_segment : int;  (** D-elements (= pairs) per segment *)
+  cross_percent : int;  (** 0-100 *)
+  shape : shape;
+}
+
+type schedule = {
+  edits : (int * string) list;  (** apply in order with [insert ~gp] *)
+  expected_in_pairs : int;
+  expected_cross_pairs : int;
+  anc_tag : string;  (** "A" *)
+  desc_tag : string;  (** "D" *)
+}
+
+val generate : spec -> schedule
+(** @raise Invalid_argument on a malformed spec. *)

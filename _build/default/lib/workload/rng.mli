@@ -1,0 +1,24 @@
+(** Deterministic pseudo-random numbers (splitmix64).
+
+    Every workload generator takes an explicit seed so experiments are
+    exactly reproducible run to run, independent of the global
+    [Random] state. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded with the given integer. *)
+
+val next : t -> int
+(** A fresh non-negative 62-bit value. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val split : t -> t
+(** An independent generator derived from this one. *)

@@ -1,0 +1,127 @@
+open Lxu_xml
+
+let queries =
+  [
+    ("Q1", "person", "phone");
+    ("Q2", "profile", "interest");
+    ("Q3", "watches", "watch");
+    ("Q4", "person", "watch");
+    ("Q5", "person", "interest");
+  ]
+
+let words =
+  [|
+    "auction"; "vintage"; "rare"; "lot"; "camera"; "guitar"; "atlas"; "silver";
+    "estate"; "classic"; "mint"; "signed"; "limited"; "original"; "antique";
+  |]
+
+let word rng = Rng.pick rng words
+
+let sentence rng n = String.concat " " (List.init n (fun _ -> word rng))
+
+let digits rng n = String.init n (fun _ -> Char.chr (Char.code '0' + Rng.int rng 10))
+
+let person rng i =
+  let opt chance node = if Rng.int rng 100 < chance then [ node () ] else [] in
+  let interests () =
+    List.init (Rng.int rng 5) (fun _ ->
+        Tree.el "interest" ~attrs:[ ("category", word rng) ] [])
+  in
+  let profile () =
+    Tree.el "profile"
+      ~attrs:[ ("income", digits rng 5) ]
+      (interests ()
+      @ opt 60 (fun () -> Tree.el "education" [ Tree.txt (word rng) ])
+      @ opt 80 (fun () -> Tree.el "gender" [ Tree.txt (if Rng.bool rng then "male" else "female") ])
+      @ [ Tree.el "business" [ Tree.txt (if Rng.bool rng then "Yes" else "No") ] ]
+      @ opt 70 (fun () -> Tree.el "age" [ Tree.txt (digits rng 2) ]))
+  in
+  let watches () =
+    Tree.el "watches"
+      (List.init
+         (1 + Rng.int rng 6)
+         (fun _ -> Tree.el "watch" ~attrs:[ ("open_auction", "oa" ^ digits rng 3) ] []))
+  in
+  let address () =
+    Tree.el "address"
+      [
+        Tree.el "street" [ Tree.txt (digits rng 2 ^ " " ^ word rng ^ " st") ];
+        Tree.el "city" [ Tree.txt (word rng) ];
+        Tree.el "country" [ Tree.txt "United States" ];
+        Tree.el "zipcode" [ Tree.txt (digits rng 5) ];
+      ]
+  in
+  Tree.el "person"
+    ~attrs:[ ("id", Printf.sprintf "person%d" i) ]
+    ([
+       Tree.el "name" [ Tree.txt (word rng ^ " " ^ word rng) ];
+       Tree.el "emailaddress" [ Tree.txt (Printf.sprintf "mailto:%s%d@example.com" (word rng) i) ];
+     ]
+    @ opt 85 (fun () -> Tree.el "phone" [ Tree.txt ("+1 (" ^ digits rng 3 ^ ") " ^ digits rng 7) ])
+    @ opt 70 address
+    @ opt 75 profile
+    @ opt 60 watches
+    @ opt 40 (fun () -> Tree.el "creditcard" [ Tree.txt (digits rng 16) ]))
+
+let item rng i =
+  Tree.el "item"
+    ~attrs:[ ("id", Printf.sprintf "item%d" i) ]
+    [
+      Tree.el "location" [ Tree.txt (word rng) ];
+      Tree.el "name" [ Tree.txt (sentence rng 2) ];
+      Tree.el "description" [ Tree.el "text" [ Tree.txt (sentence rng 8) ] ];
+      Tree.el "quantity" [ Tree.txt (digits rng 1) ];
+      Tree.el "payment" [ Tree.txt "Creditcard" ];
+    ]
+
+let category rng i =
+  Tree.el "category"
+    ~attrs:[ ("id", Printf.sprintf "category%d" i) ]
+    [
+      Tree.el "name" [ Tree.txt (word rng) ];
+      Tree.el "description" [ Tree.el "text" [ Tree.txt (sentence rng 5) ] ];
+    ]
+
+let open_auction rng i =
+  Tree.el "open_auction"
+    ~attrs:[ ("id", Printf.sprintf "open_auction%d" i) ]
+    ([
+       Tree.el "initial" [ Tree.txt (digits rng 3) ];
+     ]
+    @ List.init (Rng.int rng 4) (fun _ ->
+          Tree.el "bidder"
+            [
+              Tree.el "date" [ Tree.txt "07/07/2026" ];
+              Tree.el "increase" [ Tree.txt (digits rng 2) ];
+            ])
+    @ [
+        Tree.el "current" [ Tree.txt (digits rng 4) ];
+        Tree.el "itemref" ~attrs:[ ("item", "item" ^ digits rng 2) ] [];
+        Tree.el "seller" ~attrs:[ ("person", "person" ^ digits rng 2) ] [];
+        Tree.el "quantity" [ Tree.txt "1" ];
+      ])
+
+let regions rng ~items =
+  let continents = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |] in
+  let buckets = Array.make (Array.length continents) [] in
+  for i = items - 1 downto 0 do
+    let c = Rng.int rng (Array.length continents) in
+    buckets.(c) <- item rng i :: buckets.(c)
+  done;
+  Tree.el "regions"
+    (Array.to_list (Array.mapi (fun c name -> Tree.el name buckets.(c)) continents))
+
+let generate ?(persons = 100) ?(items = 60) ?(categories = 10) ~seed () =
+  let rng = Rng.create seed in
+  [
+    Tree.el "site"
+      [
+        regions rng ~items;
+        Tree.el "categories" (List.init categories (category rng));
+        Tree.el "people" (List.init persons (person rng));
+        Tree.el "open_auctions" (List.init (persons / 2) (open_auction rng));
+      ];
+  ]
+
+let generate_text ?persons ?items ?categories ~seed () =
+  Printer.render (generate ?persons ?items ?categories ~seed ())

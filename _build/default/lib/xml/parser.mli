@@ -1,0 +1,27 @@
+(** A position-tracking XML parser.
+
+    Segments arrive as plain text and elements are labelled by byte
+    offsets, so the parser records, for every element, the offset of
+    its ['<'] and the offset one past its closing ['>'].  The supported
+    subset is what the paper's workloads need: elements, attributes,
+    character data with the five predefined entities, CDATA sections,
+    comments and processing instructions.  DTDs are not supported. *)
+
+exception Parse_error of { pos : int; msg : string }
+
+val parse_fragment : string -> Tree.node list
+(** Parses a well-formed XML fragment: a sequence of elements, text and
+    miscellaneous nodes.  Every returned node is annotated with its
+    byte offsets in the input.
+    @raise Parse_error on ill-formed input. *)
+
+val parse_document : string -> Tree.element
+(** Parses a document with exactly one root element (leading or
+    trailing whitespace, comments and processing instructions are
+    allowed around it).
+    @raise Parse_error on ill-formed input or multiple roots. *)
+
+val parse_fragment_result : string -> (Tree.node list, string) result
+(** Exception-free variant; the error string includes the position. *)
+
+val is_well_formed_fragment : string -> bool

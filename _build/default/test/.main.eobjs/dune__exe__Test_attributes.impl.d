@@ -1,0 +1,1 @@
+test/test_attributes.ml: Alcotest Lazy_db Lazy_xml List Lxu_seglog Lxu_xml Option Path_query String

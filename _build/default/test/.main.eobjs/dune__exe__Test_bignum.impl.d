@@ -1,0 +1,1 @@
+test/test_bignum.ml: Alcotest Bignum Crt List Lxu_bignum Option Prime_gen Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_boxes.ml: Alcotest Array Bbox_store Box_store Hashtbl List Lxu_labeling Lxu_workload Option Order_label Printf QCheck2 QCheck_alcotest Rank_order

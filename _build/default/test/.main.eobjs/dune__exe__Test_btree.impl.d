@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Bptree Fun Int List Lxu_btree Map Printf QCheck2 QCheck_alcotest Stdlib

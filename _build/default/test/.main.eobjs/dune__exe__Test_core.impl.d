@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Lazy_db Lazy_xml List

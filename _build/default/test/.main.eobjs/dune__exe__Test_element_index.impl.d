@@ -1,0 +1,1 @@
+test/test_element_index.ml: Alcotest Array Element_index List Lxu_seglog

@@ -1,0 +1,1 @@
+test/test_er_node.ml: Alcotest Er_node List Lxu_seglog Lxu_util QCheck2 QCheck_alcotest String Vec

@@ -1,0 +1,1 @@
+test/test_join2.ml: Alcotest Array Buffer Interval List Lxu_join Lxu_labeling Lxu_xml Mpmgjn Path_stack Printf Random Stack_tree_anc Stack_tree_desc Twig_stack Xr_index Xr_join

@@ -1,0 +1,1 @@
+test/test_labeling.ml: Alcotest Array Binary_label Dewey_label Interval Interval_store List Lxu_labeling Lxu_xml Prime_label QCheck2 QCheck_alcotest String

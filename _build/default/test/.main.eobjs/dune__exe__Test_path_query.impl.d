@@ -1,0 +1,1 @@
+test/test_path_query.ml: Alcotest Array Lazy_db Lazy_xml List Lxu_workload Lxu_xml Path_query QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_seglog.ml: Alcotest Array Element_index Er_node Hashtbl List Lxu_seglog Lxu_xml Option Printf QCheck2 QCheck_alcotest String Tag_list Tag_registry Update_log

@@ -1,0 +1,1 @@
+test/test_shared_db.ml: Alcotest Domain Lazy_db Lazy_xml List Shared_db String

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array Filename Lazy_db Lazy_xml List Lxu_join Lxu_xml Option QCheck2 QCheck_alcotest String Sys

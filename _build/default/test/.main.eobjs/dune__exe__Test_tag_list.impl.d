@@ -1,0 +1,1 @@
+test/test_tag_list.ml: Alcotest Array List Lxu_seglog Tag_list

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Int List Lxu_util QCheck2 QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Chopper Generator Joinmix Lazy_db Lazy_xml List Lxu_seglog Lxu_util Lxu_workload Lxu_xml Option Printf QCheck2 QCheck_alcotest Rng String Xmark

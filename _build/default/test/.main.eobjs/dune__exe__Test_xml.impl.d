@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Char List Lxu_xml Parser Printer Printf QCheck2 QCheck_alcotest String Tree

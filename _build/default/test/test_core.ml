@@ -1,0 +1,156 @@
+(* Tests for the Lazy_db facade: engine equivalence, maintenance
+   operations, and statistics. *)
+
+open Lazy_xml
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let pair_list = Alcotest.(list (pair int int))
+
+let engines = [ (Lazy_db.LD, "LD"); (Lazy_db.LS, "LS"); (Lazy_db.STD, "STD") ]
+
+let apply_edits db edits =
+  List.iter
+    (fun edit ->
+      match edit with
+      | `Ins (gp, frag) -> Lazy_db.insert db ~gp frag
+      | `Del (gp, len) -> Lazy_db.remove db ~gp ~len)
+    edits
+
+let sample_edits =
+  [
+    `Ins (0, "<lib></lib>");
+    `Ins (5, "<book><title>t</title><author>a</author></book>");
+    `Ins (5, "<book><author>b</author></book>");
+    `Ins (11, "<author>c</author>");
+    `Del (11, 18);
+  ]
+
+let test_engines_agree () =
+  let results =
+    List.map
+      (fun (engine, name) ->
+        let db = Lazy_db.create ~engine () in
+        apply_edits db sample_edits;
+        Lazy_db.check db;
+        let pairs, _ = Lazy_db.query db ~anc:"book" ~desc:"author" () in
+        (name, pairs))
+      engines
+  in
+  match results with
+  | (_, first) :: rest ->
+    check_bool "some results" true (first <> []);
+    List.iter (fun (name, pairs) -> Alcotest.check pair_list name first pairs) rest
+  | [] -> assert false
+
+let test_both_axes () =
+  List.iter
+    (fun (engine, name) ->
+      let db = Lazy_db.create ~engine () in
+      Lazy_db.insert db ~gp:0 "<a><a><b/></a></a>";
+      let desc = Lazy_db.count db ~anc:"a" ~desc:"b" () in
+      let child = Lazy_db.count db ~axis:Lazy_db.Child ~anc:"a" ~desc:"b" () in
+      check_int (name ^ " desc") 2 desc;
+      check_int (name ^ " child") 1 child)
+    engines
+
+let test_counts_and_lengths () =
+  let db = Lazy_db.create () in
+  Lazy_db.insert db ~gp:0 "<a><b/></a>";
+  Lazy_db.insert db ~gp:3 "<c/>";
+  check_int "doc length" 15 (Lazy_db.doc_length db);
+  check_int "elements" 3 (Lazy_db.element_count db);
+  check_int "segments" 2 (Lazy_db.segment_count db);
+  check_bool "size accounted" true (Lazy_db.size_bytes db > 0);
+  Alcotest.(check string) "text" "<a><c/><b/></a>" (Lazy_db.text db)
+
+let test_rebuild () =
+  let db = Lazy_db.create () in
+  Lazy_db.insert db ~gp:0 "<a></a>";
+  Lazy_db.insert db ~gp:3 "<b/>";
+  Lazy_db.insert db ~gp:3 "<b/>";
+  check_int "three segments" 3 (Lazy_db.segment_count db);
+  let before = Lazy_db.query db ~anc:"a" ~desc:"b" () |> fst in
+  let text_before = Lazy_db.text db in
+  Lazy_db.rebuild db;
+  check_int "one segment" 1 (Lazy_db.segment_count db);
+  Alcotest.(check string) "same text" text_before (Lazy_db.text db);
+  Alcotest.check pair_list "same answers" before (fst (Lazy_db.query db ~anc:"a" ~desc:"b" ()));
+  Lazy_db.check db
+
+let test_pack_subtree () =
+  let db = Lazy_db.create () in
+  Lazy_db.insert db ~gp:0 "<r></r>";
+  Lazy_db.insert db ~gp:3 "<a></a>";
+  Lazy_db.insert db ~gp:6 "<b/>";
+  Lazy_db.insert db ~gp:6 "<b/>";
+  check_int "four segments" 4 (Lazy_db.segment_count db);
+  let text_before = Lazy_db.text db in
+  (* Pack the <a> subtree: "<a><b/><b/></a>" at [3, 18). *)
+  Lazy_db.pack_subtree db ~gp:3 ~len:15;
+  check_int "packed to two" 2 (Lazy_db.segment_count db);
+  Alcotest.(check string) "same text" text_before (Lazy_db.text db);
+  check_int "join intact" 2 (Lazy_db.count db ~anc:"a" ~desc:"b" ());
+  Lazy_db.check db
+
+let test_rebuild_empty () =
+  let db = Lazy_db.create () in
+  Lazy_db.rebuild db;
+  check_int "still empty" 0 (Lazy_db.segment_count db)
+
+let test_std_has_no_log () =
+  let db = Lazy_db.create ~engine:Lazy_db.STD () in
+  check_bool "no log" true (Lazy_db.log db = None);
+  check_bool "has store" true (Lazy_db.store db <> None);
+  Lazy_db.insert db ~gp:0 "<a/>";
+  Alcotest.check_raises "text unavailable"
+    (Invalid_argument "Lazy_db.text: the STD engine keeps labels only, not the document text")
+    (fun () -> ignore (Lazy_db.text db))
+
+let test_query_stats () =
+  let db = Lazy_db.create () in
+  Lazy_db.insert db ~gp:0 "<a></a>";
+  Lazy_db.insert db ~gp:3 "<b/>";
+  let _, stats = Lazy_db.query db ~anc:"a" ~desc:"b" () in
+  check_int "one pair" 1 stats.Lazy_db.pair_count;
+  check_int "cross" 1 stats.Lazy_db.cross_pairs;
+  check_int "none in-segment" 0 stats.Lazy_db.in_pairs
+
+let suite =
+  [
+    Alcotest.test_case "engines agree" `Quick test_engines_agree;
+    Alcotest.test_case "both axes" `Quick test_both_axes;
+    Alcotest.test_case "counts and lengths" `Quick test_counts_and_lengths;
+    Alcotest.test_case "rebuild" `Quick test_rebuild;
+    Alcotest.test_case "pack subtree" `Quick test_pack_subtree;
+    Alcotest.test_case "rebuild empty" `Quick test_rebuild_empty;
+    Alcotest.test_case "std has no log" `Quick test_std_has_no_log;
+    Alcotest.test_case "query stats" `Quick test_query_stats;
+  ]
+
+let test_auto_pack () =
+  let db = Lazy_db.create ~pack_threshold:5 () in
+  Lazy_db.insert db ~gp:0 "<r></r>";
+  for _ = 1 to 4 do
+    Lazy_db.insert db ~gp:3 "<x/>"
+  done;
+  check_int "below threshold: untouched" 5 (Lazy_db.segment_count db);
+  Lazy_db.insert db ~gp:3 "<x/>";
+  check_int "packed to one" 1 (Lazy_db.segment_count db);
+  check_int "answers intact" 5 (Lazy_db.count db ~anc:"r" ~desc:"x" ());
+  Lazy_db.check db;
+  (* Removals trigger the check too (segment count only shrinks, so
+     this just documents the hook). *)
+  Lazy_db.remove db ~gp:3 ~len:4;
+  check_int "after removal" 4 (Lazy_db.count db ~anc:"r" ~desc:"x" ())
+
+let test_auto_pack_invalid () =
+  Alcotest.check_raises "zero" (Invalid_argument "Lazy_db.create: pack_threshold < 1")
+    (fun () -> ignore (Lazy_db.create ~pack_threshold:0 ()))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "auto pack" `Quick test_auto_pack;
+      Alcotest.test_case "auto pack invalid" `Quick test_auto_pack_invalid;
+    ]

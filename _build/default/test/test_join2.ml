@@ -1,0 +1,394 @@
+(* Tests for the additional join algorithms: Stack-Tree-Anc, MPMGJN and
+   PathStack.  Oracle: Stack-Tree-Desc / naive join re-sorted as
+   needed. *)
+
+open Lxu_join
+open Lxu_labeling
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let pair_list = Alcotest.(list (pair int int))
+
+let fresh_labels text ~tag =
+  let nodes = Lxu_xml.Parser.parse_fragment text in
+  let acc = ref [] in
+  Lxu_xml.Tree.iter_elements nodes (fun e ~level ->
+      if e.Lxu_xml.Tree.tag = tag then
+        acc := (e.Lxu_xml.Tree.e_start, e.Lxu_xml.Tree.e_end, level) :: !acc);
+  List.sort compare !acc
+
+let intervals text ~tag =
+  Array.of_list
+    (List.map (fun (s, e, l) -> Interval.make ~start:s ~stop:e ~level:l) (fresh_labels text ~tag))
+
+let starts pairs =
+  List.map (fun ((a : Interval.t), (d : Interval.t)) -> (a.Interval.start, d.Interval.start)) pairs
+
+(* Deterministic random documents shared by the equivalence tests. *)
+let mk_doc seed =
+  let st = Random.State.make [| seed |] in
+  let buf = Buffer.create 128 in
+  let budget = ref 40 in
+  let rec gen depth =
+    if !budget > 0 && depth <= 6 then begin
+      let tag = [| "a"; "d"; "x" |].(Random.State.int st 3) in
+      decr budget;
+      Buffer.add_string buf (Printf.sprintf "<%s>" tag);
+      for _ = 1 to Random.State.int st 3 do
+        gen (depth + 1)
+      done;
+      Buffer.add_string buf (Printf.sprintf "</%s>" tag)
+    end
+  in
+  while !budget > 0 do
+    gen 0
+  done;
+  Buffer.contents buf
+
+(* --- Stack-Tree-Anc --------------------------------------------------- *)
+
+let test_sta_order () =
+  let text = "<a><b/><a><b/></a></a><b/>" in
+  let pairs, _ = Stack_tree_anc.join ~anc:(intervals text ~tag:"a") ~desc:(intervals text ~tag:"b") () in
+  (* Sorted by (ancestor, descendant). *)
+  Alcotest.check pair_list "anc order" [ (0, 3); (0, 10); (7, 10) ] (starts pairs)
+
+let test_sta_equals_std_as_sets () =
+  for seed = 1 to 30 do
+    let text = mk_doc seed in
+    let anc = intervals text ~tag:"a" and desc = intervals text ~tag:"d" in
+    List.iter
+      (fun axis ->
+        let d_pairs, _ = Stack_tree_desc.join ~axis ~anc ~desc () in
+        let a_pairs, _ = Stack_tree_anc.join ~axis ~anc ~desc () in
+        let expected = List.sort compare (starts d_pairs) in
+        Alcotest.check pair_list
+          (Printf.sprintf "seed %d same set" seed)
+          expected
+          (List.sort compare (starts a_pairs));
+        (* And the emitted order is ancestor-major. *)
+        check_bool "sorted by anc" true
+          (starts a_pairs = List.sort (fun (a1, d1) (a2, d2) -> compare (a1, d1) (a2, d2)) (starts a_pairs)))
+      [ Stack_tree_desc.Descendant; Stack_tree_desc.Child ]
+  done
+
+let test_sta_empty () =
+  let pairs, _ = Stack_tree_anc.join ~anc:[||] ~desc:[||] () in
+  check_int "empty" 0 (List.length pairs)
+
+(* --- MPMGJN ------------------------------------------------------------ *)
+
+let test_mpmgjn_equals_std () =
+  for seed = 1 to 30 do
+    let text = mk_doc (100 + seed) in
+    let anc = intervals text ~tag:"a" and desc = intervals text ~tag:"d" in
+    List.iter
+      (fun axis ->
+        let d_pairs, _ = Stack_tree_desc.join ~axis ~anc ~desc () in
+        let m_pairs, _ = Mpmgjn.join ~axis ~anc ~desc () in
+        Alcotest.check pair_list
+          (Printf.sprintf "seed %d" seed)
+          (List.sort compare (starts d_pairs))
+          (List.sort compare (starts m_pairs)))
+      [ Stack_tree_desc.Descendant; Stack_tree_desc.Child ]
+  done
+
+let test_mpmgjn_rescans () =
+  (* Nested ancestors force re-scans: d_scanned exceeds the
+     descendant-list length. *)
+  let text = "<a><a><a><d/><d/><d/></a></a></a>" in
+  let _, stats = Mpmgjn.join ~anc:(intervals text ~tag:"a") ~desc:(intervals text ~tag:"d") () in
+  check_bool "rescans counted" true (stats.Stack_tree_desc.d_scanned > 3);
+  (* Stack-Tree-Desc reads each descendant once. *)
+  let _, std_stats =
+    Stack_tree_desc.join ~anc:(intervals text ~tag:"a") ~desc:(intervals text ~tag:"d") ()
+  in
+  check_int "std reads each d once" 3 std_stats.Stack_tree_desc.d_scanned
+
+(* --- PathStack ---------------------------------------------------------- *)
+
+(* Naive path-match count: all chains e1 ⊃ e2 ⊃ ... ⊃ en with the
+   requested edge kinds. *)
+let naive_path_count text tags edges =
+  let labels = List.map (fun tag -> fresh_labels text ~tag) tags in
+  let rec chains prev rest edge_idx =
+    match rest with
+    | [] -> 1
+    | cur :: rest' ->
+      List.fold_left
+        (fun acc (s, e, l) ->
+          let ps, pe, pl = prev in
+          let contains = ps < s && pe > e in
+          let edge_ok =
+            match List.nth edges edge_idx with
+            | Path_stack.Desc -> true
+            | Path_stack.Child -> l = pl + 1
+          in
+          if contains && edge_ok then acc + chains (s, e, l) rest' (edge_idx + 1) else acc)
+        0 cur
+  in
+  match labels with
+  | [] -> 0
+  | first :: rest -> List.fold_left (fun acc e -> acc + chains e rest 0) 0 first
+
+let test_pathstack_single_node () =
+  let text = "<a><a/></a>" in
+  let streams = [| intervals text ~tag:"a" |] in
+  check_int "all elements" 2 (Path_stack.count ~streams ~edges:[||]);
+  check_int "matches" 2 (List.length (Path_stack.matches ~streams ~edges:[||]))
+
+let test_pathstack_linear () =
+  let text = "<a><b><c/><c/></b><b/></a><b><c/></b>" in
+  let streams = [| intervals text ~tag:"a"; intervals text ~tag:"b"; intervals text ~tag:"c" |] in
+  let edges = [| Path_stack.Desc; Path_stack.Desc |] in
+  check_int "a//b//c" 2 (Path_stack.count ~streams ~edges);
+  let ms = Path_stack.matches ~streams ~edges in
+  check_int "tuples" 2 (List.length ms);
+  List.iter (fun m -> check_int "width" 3 (Array.length m)) ms;
+  check_int "distinct leaves" 2 (List.length (Path_stack.leaves ~streams ~edges))
+
+let test_pathstack_child_edges () =
+  let text = "<a><b><c/></b><c/></a>" in
+  let streams = [| intervals text ~tag:"a"; intervals text ~tag:"c" |] in
+  check_int "a//c" 2 (Path_stack.count ~streams ~edges:[| Path_stack.Desc |]);
+  check_int "a/c" 1 (Path_stack.count ~streams ~edges:[| Path_stack.Child |])
+
+let test_pathstack_equals_naive () =
+  for seed = 1 to 25 do
+    let text = mk_doc (200 + seed) in
+    List.iter
+      (fun edges_l ->
+        let tags = [ "a"; "d"; "x" ] in
+        let expected = naive_path_count text tags edges_l in
+        let streams = Array.of_list (List.map (fun tag -> intervals text ~tag) tags) in
+        let got = Path_stack.count ~streams ~edges:(Array.of_list edges_l) in
+        check_int (Printf.sprintf "seed %d" seed) expected got)
+      [
+        [ Path_stack.Desc; Path_stack.Desc ];
+        [ Path_stack.Desc; Path_stack.Child ];
+        [ Path_stack.Child; Path_stack.Desc ];
+        [ Path_stack.Child; Path_stack.Child ];
+      ]
+  done
+
+let test_pathstack_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Path_stack: empty pattern") (fun () ->
+      ignore (Path_stack.count ~streams:[||] ~edges:[||]));
+  Alcotest.check_raises "mismatch" (Invalid_argument "Path_stack: edges/streams mismatch")
+    (fun () -> ignore (Path_stack.count ~streams:[| [||] |] ~edges:[| Path_stack.Desc |]))
+
+let suite =
+  [
+    Alcotest.test_case "stack-tree-anc order" `Quick test_sta_order;
+    Alcotest.test_case "stack-tree-anc = std (sets)" `Quick test_sta_equals_std_as_sets;
+    Alcotest.test_case "stack-tree-anc empty" `Quick test_sta_empty;
+    Alcotest.test_case "mpmgjn = std" `Quick test_mpmgjn_equals_std;
+    Alcotest.test_case "mpmgjn rescans counted" `Quick test_mpmgjn_rescans;
+    Alcotest.test_case "pathstack single node" `Quick test_pathstack_single_node;
+    Alcotest.test_case "pathstack linear" `Quick test_pathstack_linear;
+    Alcotest.test_case "pathstack child edges" `Quick test_pathstack_child_edges;
+    Alcotest.test_case "pathstack = naive" `Quick test_pathstack_equals_naive;
+    Alcotest.test_case "pathstack validation" `Quick test_pathstack_validation;
+  ]
+
+(* --- XR-tree index and join --------------------------------------------- *)
+
+let test_xr_index_probes () =
+  let text = "<a><a><d/></a><d/></a><d/>" in
+  let anc = Xr_index.build (intervals text ~tag:"a") in
+  check_int "length" 2 (Xr_index.length anc);
+  check_int "first_from 0" 0 (Xr_index.first_from anc 0);
+  check_int "first_from 1" 1 (Xr_index.first_from anc 1);
+  check_int "first_from 4" 2 (Xr_index.first_from anc 4);
+  check_int "first_from 99" 2 (Xr_index.first_from anc 99);
+  (* Position 7 (inside the inner d) is contained in both a's. *)
+  Alcotest.(check (list int)) "stab inner" [ 0; 1 ] (Xr_index.stab anc 7);
+  Alcotest.(check (list int)) "stab outer only" [ 0 ] (Xr_index.stab anc 15);
+  Alcotest.(check (list int)) "stab outside" [] (Xr_index.stab anc 23);
+  check_bool "probes counted" true (Xr_index.probes anc > 0)
+
+let test_xr_index_rejects_unsorted () =
+  let i1 = Interval.make ~start:10 ~stop:20 ~level:0 in
+  let i2 = Interval.make ~start:0 ~stop:5 ~level:0 in
+  Alcotest.check_raises "unsorted" (Invalid_argument "Xr_index.build: not sorted by start")
+    (fun () -> ignore (Xr_index.build [| i1; i2 |]))
+
+let test_xr_join_equals_std () =
+  for seed = 1 to 30 do
+    let text = mk_doc (300 + seed) in
+    let anc = intervals text ~tag:"a" and desc = intervals text ~tag:"d" in
+    List.iter
+      (fun axis ->
+        let d_pairs, _ = Stack_tree_desc.join ~axis ~anc ~desc () in
+        let x_pairs, _ =
+          Xr_join.join ~axis ~anc:(Xr_index.build anc) ~desc:(Xr_index.build desc) ()
+        in
+        Alcotest.check pair_list
+          (Printf.sprintf "seed %d" seed)
+          (List.sort compare (starts d_pairs))
+          (List.sort compare (starts x_pairs)))
+      [ Stack_tree_desc.Descendant; Stack_tree_desc.Child ]
+  done
+
+let test_xr_join_skips () =
+  (* One tiny A-list against a long D-list mostly outside the A's:
+     the ancestor-driven strategy must not touch the useless Ds. *)
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "<a><d/><d/></a>";
+  for _ = 1 to 200 do
+    Buffer.add_string buf "<x><d/></x>"
+  done;
+  let text = Buffer.contents buf in
+  let anc = Xr_index.build (intervals text ~tag:"a") in
+  let desc = Xr_index.build (intervals text ~tag:"d") in
+  let pairs, stats = Xr_join.join ~anc ~desc () in
+  check_int "pairs" 2 (List.length pairs);
+  check_int "d touched" 2 stats.Stack_tree_desc.d_scanned;
+  check_bool "skipped the rest" true (stats.Stack_tree_desc.d_scanned < 10)
+
+let test_xr_join_stab_side () =
+  (* Long A-list, short D-list: the descendant-driven strategy stabs
+     instead of scanning ancestors. *)
+  let buf = Buffer.create 256 in
+  for _ = 1 to 100 do
+    Buffer.add_string buf "<a>t</a>"
+  done;
+  Buffer.add_string buf "<a><a><d/></a></a>";
+  let text = Buffer.contents buf in
+  let anc = Xr_index.build (intervals text ~tag:"a") in
+  let desc = Xr_index.build (intervals text ~tag:"d") in
+  let pairs, stats = Xr_join.join ~anc ~desc () in
+  check_int "pairs" 2 (List.length pairs);
+  check_bool "ancestors fetched, not scanned" true (stats.Stack_tree_desc.a_scanned <= 4)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "xr index probes" `Quick test_xr_index_probes;
+      Alcotest.test_case "xr index rejects unsorted" `Quick test_xr_index_rejects_unsorted;
+      Alcotest.test_case "xr join = std" `Quick test_xr_join_equals_std;
+      Alcotest.test_case "xr join skips descendants" `Quick test_xr_join_skips;
+      Alcotest.test_case "xr join stabs ancestors" `Quick test_xr_join_stab_side;
+    ]
+
+(* --- TwigStack ------------------------------------------------------------ *)
+
+(* Twig patterns for the tests: tag, edge-to-parent, children. *)
+type tw = Tw of string * Twig_stack.edge * tw list
+
+(* Naive twig-match counter over the parsed tree: number of complete
+   assignments of elements to query nodes respecting tags and edges. *)
+let naive_twig_count text pattern =
+  let forest = Lxu_xml.Parser.parse_fragment text in
+  let child_elems e =
+    List.filter_map (function Lxu_xml.Tree.Element c -> Some c | _ -> None) e.Lxu_xml.Tree.children
+  in
+  let rec descendants e = List.concat_map (fun c -> c :: descendants c) (child_elems e) in
+  let roots = List.filter_map (function Lxu_xml.Tree.Element e -> Some e | _ -> None) forest in
+  let all = List.concat_map (fun r -> r :: descendants r) roots in
+  let rec assignments anchor (Tw (tag, edge, kids)) =
+    let pool =
+      match (anchor, edge) with
+      | None, _ -> all
+      | Some e, Twig_stack.Desc -> descendants e
+      | Some e, Twig_stack.Child -> child_elems e
+    in
+    List.fold_left
+      (fun acc e ->
+        if e.Lxu_xml.Tree.tag = tag then
+          acc + List.fold_left (fun p k -> p * assignments (Some e) k) 1 kids
+        else acc)
+      0 pool
+  in
+  assignments None pattern
+
+(* Builds a Twig_stack.query from the same pattern over fresh labels. *)
+let twig_query text pattern =
+  let next_id = ref 0 in
+  let rec build (Tw (tag, edge, kids)) =
+    let qid = !next_id in
+    incr next_id;
+    let children = List.map build kids in
+    { Twig_stack.qid; stream = intervals text ~tag; edge; children }
+  in
+  build pattern
+
+let test_twig_linear_equals_pathstack () =
+  let text = "<a><b><c/><c/></b><b/></a><b><c/></b>" in
+  let pattern = Tw ("a", Twig_stack.Desc, [ Tw ("b", Twig_stack.Desc, [ Tw ("c", Twig_stack.Desc, []) ]) ]) in
+  check_int "count" (naive_twig_count text pattern)
+    (Twig_stack.count (twig_query text pattern))
+
+let test_twig_branching () =
+  let text = "<a><b/><c/></a><a><b/></a><a><c/></a>" in
+  let pattern =
+    Tw ("a", Twig_stack.Desc, [ Tw ("b", Twig_stack.Desc, []); Tw ("c", Twig_stack.Desc, []) ])
+  in
+  check_int "only the first a matches" 1 (Twig_stack.count (twig_query text pattern));
+  let roots = Twig_stack.root_matches (twig_query text pattern) in
+  check_int "one root" 1 (List.length roots);
+  check_int "it is the first a" 0 (List.hd roots).Interval.start
+
+let test_twig_shared_branch_consistency () =
+  (* r//a[b][c]: the SAME a must have both; separate a's don't count. *)
+  let text = "<r><a><b/></a><a><c/></a></r><r><a><b/><c/></a></r>" in
+  let pattern =
+    Tw
+      ( "r",
+        Twig_stack.Desc,
+        [ Tw ("a", Twig_stack.Desc, [ Tw ("b", Twig_stack.Desc, []); Tw ("c", Twig_stack.Desc, []) ]) ] )
+  in
+  check_int "count" (naive_twig_count text pattern)
+    (Twig_stack.count (twig_query text pattern));
+  check_int "one root only" 1 (List.length (Twig_stack.root_matches (twig_query text pattern)))
+
+let test_twig_child_edges () =
+  let text = "<a><b><c/></b><c/></a>" in
+  let p_desc = Tw ("a", Twig_stack.Desc, [ Tw ("c", Twig_stack.Desc, []) ]) in
+  let p_child = Tw ("a", Twig_stack.Desc, [ Tw ("c", Twig_stack.Child, []) ]) in
+  check_int "a//c" 2 (Twig_stack.count (twig_query text p_desc));
+  check_int "a/c" 1 (Twig_stack.count (twig_query text p_child))
+
+let test_twig_single_node () =
+  let text = "<a><a/></a>" in
+  check_int "all" 2 (Twig_stack.count (twig_query text (Tw ("a", Twig_stack.Desc, []))))
+
+let test_twig_equals_naive_random () =
+  let patterns =
+    [
+      Tw ("a", Twig_stack.Desc, [ Tw ("d", Twig_stack.Desc, []) ]);
+      Tw ("a", Twig_stack.Desc, [ Tw ("d", Twig_stack.Desc, []); Tw ("x", Twig_stack.Desc, []) ]);
+      Tw
+        ( "a",
+          Twig_stack.Desc,
+          [ Tw ("d", Twig_stack.Child, []); Tw ("x", Twig_stack.Desc, [ Tw ("d", Twig_stack.Desc, []) ]) ] );
+      Tw ("x", Twig_stack.Desc, [ Tw ("a", Twig_stack.Desc, [ Tw ("d", Twig_stack.Desc, []) ]) ]);
+    ]
+  in
+  for seed = 1 to 25 do
+    let text = mk_doc (400 + seed) in
+    List.iter
+      (fun pattern ->
+        check_int
+          (Printf.sprintf "seed %d" seed)
+          (naive_twig_count text pattern)
+          (Twig_stack.count (twig_query text pattern)))
+      patterns
+  done
+
+let test_twig_bad_qids () =
+  let q = { Twig_stack.qid = 3; stream = [||]; edge = Twig_stack.Desc; children = [] } in
+  Alcotest.check_raises "bad ids" (Invalid_argument "Twig_stack: qids must be exactly 0..n-1")
+    (fun () -> ignore (Twig_stack.count q))
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "twig linear" `Quick test_twig_linear_equals_pathstack;
+      Alcotest.test_case "twig branching" `Quick test_twig_branching;
+      Alcotest.test_case "twig shared-branch consistency" `Quick test_twig_shared_branch_consistency;
+      Alcotest.test_case "twig child edges" `Quick test_twig_child_edges;
+      Alcotest.test_case "twig single node" `Quick test_twig_single_node;
+      Alcotest.test_case "twig = naive (random)" `Quick test_twig_equals_naive_random;
+      Alcotest.test_case "twig bad qids" `Quick test_twig_bad_qids;
+    ]

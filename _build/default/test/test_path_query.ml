@@ -1,0 +1,344 @@
+(* Tests for the XPath-subset layer: parsing, evaluation strategies,
+   engine equivalence, and a naive oracle. *)
+
+open Lazy_xml
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* --- parsing --------------------------------------------------------- *)
+
+let test_parse_forms () =
+  let show s = Path_query.to_string (Path_query.parse_exn s) in
+  check_string "bare tag" "//a" (show "a");
+  check_string "leading //" "//a//b" (show "//a//b");
+  check_string "leading /" "/a/b" (show "/a/b");
+  check_string "mixed" "//a/b//c" (show "a/b//c")
+
+let test_parse_errors () =
+  let bad s =
+    match Path_query.parse s with Ok _ -> false | Error _ -> true
+  in
+  check_bool "empty" true (bad "");
+  check_bool "just slash" true (bad "/");
+  check_bool "triple slash" true (bad "///a");
+  check_bool "trailing slash" true (bad "a/");
+  check_bool "space" true (bad "a b")
+
+(* --- naive oracle ----------------------------------------------------- *)
+
+(* Final-step matches by brute force over a fresh parse. *)
+let naive_eval text path =
+  let steps = Path_query.parse_exn path in
+  let labels tag =
+    let nodes = Lxu_xml.Parser.parse_fragment text in
+    let acc = ref [] in
+    Lxu_xml.Tree.iter_elements nodes (fun e ~level ->
+        if e.Lxu_xml.Tree.tag = tag then
+          acc := (e.Lxu_xml.Tree.e_start, e.Lxu_xml.Tree.e_end, level) :: !acc);
+    !acc
+  in
+  match steps with
+  | [] -> []
+  | first :: rest ->
+    let initial =
+      List.filter
+        (fun (_, _, l) -> first.Path_query.axis = Path_query.Desc || l = 0)
+        (labels first.Path_query.tag)
+    in
+    let final =
+      List.fold_left
+        (fun survivors step ->
+          List.filter
+            (fun (s, e, l) ->
+              List.exists
+                (fun (ps, pe, pl) ->
+                  ps < s && pe > e
+                  && (step.Path_query.axis = Path_query.Desc || l = pl + 1))
+                survivors)
+            (labels step.Path_query.tag))
+        initial rest
+    in
+    List.sort compare (List.map (fun (s, e, _) -> (s, e)) final)
+
+let doc =
+  "<site><people><person><profile><interest/><interest/></profile>"
+  ^ "<watches><watch/></watches></person><person><profile/></person></people>"
+  ^ "<interest/></site>"
+
+let load engine segments =
+  let db = Lazy_db.create ~engine () in
+  if segments <= 1 then Lazy_db.insert db ~gp:0 doc
+  else
+    List.iter
+      (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+      (Lxu_workload.Chopper.chop ~text:doc ~segments Lxu_workload.Chopper.Balanced);
+  db
+
+let paths =
+  [
+    "//person//interest";
+    "//person/profile/interest";
+    "/site//interest";
+    "/site/people/person";
+    "//people//profile";
+    "//person/interest";
+    "//nosuch//interest";
+    "//person//nosuch";
+  ]
+
+let test_matches_naive () =
+  let db = load Lazy_db.LD 6 in
+  List.iter
+    (fun path ->
+      let expected = naive_eval doc path in
+      Alcotest.(check (list (pair int int))) path expected (Path_query.eval_string db path))
+    paths
+
+let test_strategies_and_engines_agree () =
+  let dbs =
+    [
+      ("LD", load Lazy_db.LD 6, Path_query.Pairwise);
+      ("LD-holistic", load Lazy_db.LD 6, Path_query.Holistic);
+      ("LS", load Lazy_db.LS 6, Path_query.Pairwise);
+      ("LS-holistic", load Lazy_db.LS 6, Path_query.Holistic);
+      ("STD", load Lazy_db.STD 1, Path_query.Pairwise);
+      ("one-segment", load Lazy_db.LD 1, Path_query.Pairwise);
+    ]
+  in
+  List.iter
+    (fun path ->
+      let expected = naive_eval doc path in
+      List.iter
+        (fun (name, db, strategy) ->
+          Alcotest.(check (list (pair int int)))
+            (path ^ " on " ^ name)
+            expected
+            (Path_query.eval_string ~strategy db path))
+        dbs)
+    paths
+
+let test_count () =
+  let db = load Lazy_db.LD 4 in
+  check_int "interests under persons" 2 (Path_query.count db "//person//interest");
+  check_int "all interests" 3 (Path_query.count db "//interest");
+  check_int "rooted" 3 (Path_query.count db "/site//interest")
+
+let test_eval_after_update () =
+  let db = load Lazy_db.LD 4 in
+  let before = Path_query.count db "//person//interest" in
+  (* Add an interest inside the second person's profile. *)
+  let text = Lazy_db.text db in
+  let needle = "<profile/>" in
+  let n = String.length needle in
+  let rec find i = if String.sub text i n = needle then i else find (i + 1) in
+  let at = find 0 + String.length "<profile" in
+  (* Replace the self-closing profile by inserting... instead insert a
+     whole new watches sibling before it. *)
+  ignore at;
+  let pos = find 0 in
+  Lazy_db.insert db ~gp:pos "<profile><interest/></profile>";
+  check_int "one more" (before + 1) (Path_query.count db "//person//interest");
+  check_bool "oracle agrees" true
+    (Path_query.eval_string db "//person//interest"
+    = naive_eval (Lazy_db.text db) "//person//interest")
+
+let prop_random_docs =
+  let fragments =
+    [| "<a/>"; "<b><c/></b>"; "<a><b><c/></b></a>"; "<c><a/></c>"; "<b/><c/>" |]
+  in
+  let gen = QCheck2.Gen.(list_size (int_range 1 10) (pair (int_bound 1000) (int_bound 4))) in
+  QCheck2.Test.make ~name:"path query = naive on random docs" ~count:60 gen
+    (fun picks ->
+      let db = Lazy_db.create () in
+      let text = ref "" in
+      List.iter
+        (fun (pick, fi) ->
+          let frag = fragments.(fi) in
+          let points = ref [] in
+          for gp = 0 to String.length !text do
+            let cand =
+              String.sub !text 0 gp ^ frag ^ String.sub !text gp (String.length !text - gp)
+            in
+            if Lxu_xml.Parser.is_well_formed_fragment cand then points := gp :: !points
+          done;
+          match !points with
+          | [] -> ()
+          | ps ->
+            let gp = List.nth ps (pick mod List.length ps) in
+            Lazy_db.insert db ~gp frag;
+            text :=
+              String.sub !text 0 gp ^ frag ^ String.sub !text gp (String.length !text - gp))
+        picks;
+      List.for_all
+        (fun path ->
+          naive_eval !text path = Path_query.eval_string db path
+          && naive_eval !text path = Path_query.eval_string ~strategy:Path_query.Holistic db path)
+        [ "//a//c"; "//a/b/c"; "/a//c"; "//b/c"; "//a//b//c" ])
+
+let suite =
+  [
+    Alcotest.test_case "parse forms" `Quick test_parse_forms;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "matches naive oracle" `Quick test_matches_naive;
+    Alcotest.test_case "strategies and engines agree" `Quick test_strategies_and_engines_agree;
+    Alcotest.test_case "count" `Quick test_count;
+    Alcotest.test_case "eval after update" `Quick test_eval_after_update;
+    QCheck_alcotest.to_alcotest prop_random_docs;
+  ]
+
+(* --- twig predicates ---------------------------------------------------- *)
+
+(* An independent oracle evaluated directly on the parsed tree. *)
+let naive_twig text path =
+  let steps = Path_query.parse_exn path in
+  let forest = Lxu_xml.Parser.parse_fragment text in
+  let child_elems e =
+    List.filter_map
+      (function Lxu_xml.Tree.Element c -> Some c | _ -> None)
+      e.Lxu_xml.Tree.children
+  in
+  let rec descendants e =
+    List.concat_map (fun c -> c :: descendants c) (child_elems e)
+  in
+  let roots = List.filter_map (function Lxu_xml.Tree.Element e -> Some e | _ -> None) forest in
+  let all_elements = List.concat_map (fun r -> r :: descendants r) roots in
+  (* Elements reachable from [anchor] (None = virtual root) via the
+     relative path [steps]; predicates checked existentially. *)
+  let rec reach anchor steps =
+    match steps with
+    | [] -> (match anchor with Some e -> [ e ] | None -> [])
+    | s :: rest ->
+      let pool =
+        match (anchor, s.Path_query.axis) with
+        | None, Path_query.Desc -> all_elements
+        | None, Path_query.Child -> roots
+        | Some e, Path_query.Desc -> descendants e
+        | Some e, Path_query.Child -> child_elems e
+      in
+      let here =
+        List.filter
+          (fun e ->
+            e.Lxu_xml.Tree.tag = s.Path_query.tag
+            && List.for_all (fun p -> reach (Some e) p <> []) s.Path_query.predicates)
+          pool
+      in
+      List.concat_map (fun e -> reach (Some e) rest) here
+  in
+  reach None steps
+  |> List.map (fun e -> (e.Lxu_xml.Tree.e_start, e.Lxu_xml.Tree.e_end))
+  |> List.sort_uniq compare
+
+let twig_doc =
+  "<site><person><profile><interest/></profile><name>a</name></person>"
+  ^ "<person><name>b</name></person>"
+  ^ "<person><profile/><watches><watch/></watches><name>c</name></person></site>"
+
+let twig_paths =
+  [
+    "//person[profile]/name";
+    "//person[profile/interest]/name";
+    "//person[profile][watches]/name";
+    "//person[watches/watch]//name";
+    "//site[person[profile/interest]]//watch";
+    "//person[nosuch]/name";
+    "/site/person[profile]";
+    "//person[profile[interest]]";
+  ]
+
+let test_twig_predicates () =
+  List.iter
+    (fun engine ->
+      let db = Lazy_db.create ~engine () in
+      Lazy_db.insert db ~gp:0 twig_doc;
+      List.iter
+        (fun path ->
+          let expected = naive_twig twig_doc path in
+          Alcotest.(check (list (pair int int)))
+            (path ^ " / " ^ (match engine with Lazy_db.LD -> "LD" | Lazy_db.LS -> "LS" | Lazy_db.STD -> "STD"))
+            expected
+            (Path_query.eval_string db path))
+        twig_paths)
+    [ Lazy_db.LD; Lazy_db.LS; Lazy_db.STD ]
+
+let test_twig_holistic_strategy () =
+  let db = Lazy_db.create () in
+  Lazy_db.insert db ~gp:0 twig_doc;
+  List.iter
+    (fun path ->
+      Alcotest.(check (list (pair int int)))
+        (path ^ " holistic")
+        (naive_twig twig_doc path)
+        (Path_query.eval_string ~strategy:Path_query.Holistic db path))
+    twig_paths
+
+let test_twig_segmented () =
+  let db = Lazy_db.create () in
+  List.iter
+    (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+    (Lxu_workload.Chopper.chop ~text:twig_doc ~segments:6 Lxu_workload.Chopper.Balanced);
+  List.iter
+    (fun path ->
+      Alcotest.(check (list (pair int int)))
+        path (naive_twig twig_doc path) (Path_query.eval_string db path))
+    twig_paths
+
+let test_twig_parse_roundtrip () =
+  List.iter
+    (fun path ->
+      let t = Path_query.parse_exn path in
+      let printed = Path_query.to_string t in
+      check_bool (path ^ " reparses") true (Path_query.parse_exn printed = t))
+    twig_paths
+
+let test_twig_parse_errors () =
+  let bad s = match Path_query.parse s with Ok _ -> false | Error _ -> true in
+  check_bool "unclosed" true (bad "//a[b");
+  check_bool "empty pred" true (bad "//a[]");
+  check_bool "stray bracket" true (bad "//a]b")
+
+let prop_twig_random =
+  let fragments =
+    [| "<a/>"; "<b><c/></b>"; "<a><b><c/></b></a>"; "<c><a/></c>"; "<b/><c/>" |]
+  in
+  let gen = QCheck2.Gen.(list_size (int_range 1 8) (pair (int_bound 1000) (int_bound 4))) in
+  QCheck2.Test.make ~name:"twig predicates = tree oracle on random docs" ~count:50 gen
+    (fun picks ->
+      let db = Lazy_db.create () in
+      let text = ref "" in
+      List.iter
+        (fun (pick, fi) ->
+          let frag = fragments.(fi) in
+          let points = ref [] in
+          for gp = 0 to String.length !text do
+            let cand =
+              String.sub !text 0 gp ^ frag ^ String.sub !text gp (String.length !text - gp)
+            in
+            if Lxu_xml.Parser.is_well_formed_fragment cand then points := gp :: !points
+          done;
+          match !points with
+          | [] -> ()
+          | ps ->
+            let gp = List.nth ps (pick mod List.length ps) in
+            Lazy_db.insert db ~gp frag;
+            text :=
+              String.sub !text 0 gp ^ frag ^ String.sub !text gp (String.length !text - gp))
+        picks;
+      List.for_all
+        (fun path ->
+          naive_twig !text path = Path_query.eval_string db path
+          && naive_twig !text path
+             = Path_query.eval_string ~strategy:Path_query.Holistic db path)
+        [ "//a[b]"; "//a[b/c]"; "//b[c]//c"; "//a[b][c]"; "/a[b//c]"; "//c[a]" ])
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "twig predicates (all engines)" `Quick test_twig_predicates;
+      Alcotest.test_case "twig over segments" `Quick test_twig_segmented;
+      Alcotest.test_case "twig holistic strategy" `Quick test_twig_holistic_strategy;
+      Alcotest.test_case "twig parse roundtrip" `Quick test_twig_parse_roundtrip;
+      Alcotest.test_case "twig parse errors" `Quick test_twig_parse_errors;
+      QCheck_alcotest.to_alcotest prop_twig_random;
+    ]

@@ -1,0 +1,80 @@
+(* Tests for the tag-list: sorted insertion, LS-style deferred sorting,
+   count bookkeeping on deletion. *)
+
+open Lxu_seglog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let entry sid path count = { Tag_list.sid; path = Array.of_list path; count }
+
+(* A fixed gp assignment for sorting tests. *)
+let gp_of = function 1 -> 100 | 2 -> 50 | 3 -> 75 | 4 -> 10 | _ -> 0
+
+let sids t tid = Array.to_list (Array.map (fun e -> e.Tag_list.sid) (Tag_list.entries t ~tid))
+
+let test_add_sorted () =
+  let t = Tag_list.create () in
+  Tag_list.add_sorted t ~tid:7 (entry 1 [ 0; 1 ] 3) ~gp_of;
+  Tag_list.add_sorted t ~tid:7 (entry 2 [ 0; 2 ] 1) ~gp_of;
+  Tag_list.add_sorted t ~tid:7 (entry 3 [ 0; 2; 3 ] 2) ~gp_of;
+  Alcotest.(check (list int)) "gp order" [ 2; 3; 1 ] (sids t 7);
+  check_bool "not dirty" false (Tag_list.is_dirty t)
+
+let test_append_and_sort () =
+  let t = Tag_list.create () in
+  Tag_list.append t ~tid:7 (entry 1 [ 0; 1 ] 1);
+  Tag_list.append t ~tid:7 (entry 4 [ 0; 4 ] 1);
+  Tag_list.append t ~tid:7 (entry 2 [ 0; 2 ] 1);
+  check_bool "dirty" true (Tag_list.is_dirty t);
+  check_bool "entries refuses dirty reads" true
+    (match Tag_list.entries t ~tid:7 with exception Failure _ -> true | _ -> false);
+  Tag_list.sort_all t ~gp_of;
+  Alcotest.(check (list int)) "sorted" [ 4; 2; 1 ] (sids t 7);
+  check_bool "clean" false (Tag_list.is_dirty t)
+
+let test_mark_dirty () =
+  let t = Tag_list.create () in
+  Tag_list.add_sorted t ~tid:1 (entry 1 [ 0; 1 ] 1) ~gp_of;
+  Tag_list.mark_dirty t;
+  check_bool "dirty again" true (Tag_list.is_dirty t);
+  Tag_list.sort_all t ~gp_of;
+  check_int "still there" 1 (List.length (sids t 1))
+
+let test_decrement () =
+  let t = Tag_list.create () in
+  Tag_list.add_sorted t ~tid:1 (entry 1 [ 0; 1 ] 3) ~gp_of;
+  Tag_list.decrement t ~tid:1 ~sid:1 ~by:2;
+  check_int "count lowered" 1 (Tag_list.entries t ~tid:1).(0).Tag_list.count;
+  Tag_list.decrement t ~tid:1 ~sid:1 ~by:1;
+  check_int "entry dropped at zero" 0 (Array.length (Tag_list.entries t ~tid:1));
+  (* Unknown pairs are ignored. *)
+  Tag_list.decrement t ~tid:1 ~sid:99 ~by:1;
+  Tag_list.decrement t ~tid:42 ~sid:1 ~by:1
+
+let test_remove_segment () =
+  let t = Tag_list.create () in
+  Tag_list.add_sorted t ~tid:1 (entry 1 [ 0; 1 ] 1) ~gp_of;
+  Tag_list.add_sorted t ~tid:2 (entry 1 [ 0; 1 ] 4) ~gp_of;
+  Tag_list.add_sorted t ~tid:2 (entry 2 [ 0; 2 ] 1) ~gp_of;
+  Tag_list.remove_segment t ~sid:1;
+  check_int "tid1 empty" 0 (Array.length (Tag_list.entries t ~tid:1));
+  Alcotest.(check (list int)) "tid2 keeps sid2" [ 2 ] (sids t 2)
+
+let test_tids_and_sizes () =
+  let t = Tag_list.create () in
+  Tag_list.add_sorted t ~tid:5 (entry 1 [ 0; 1 ] 1) ~gp_of;
+  Tag_list.add_sorted t ~tid:3 (entry 1 [ 0; 1 ] 1) ~gp_of;
+  Alcotest.(check (list int)) "tids sorted" [ 3; 5 ] (Tag_list.tids t);
+  check_bool "size" true (Tag_list.size_bytes t > 0);
+  check_bool "ops counted" true (Tag_list.path_ops t >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "add_sorted keeps gp order" `Quick test_add_sorted;
+    Alcotest.test_case "append then sort_all" `Quick test_append_and_sort;
+    Alcotest.test_case "mark_dirty" `Quick test_mark_dirty;
+    Alcotest.test_case "decrement" `Quick test_decrement;
+    Alcotest.test_case "remove_segment" `Quick test_remove_segment;
+    Alcotest.test_case "tids and sizes" `Quick test_tids_and_sizes;
+  ]
