@@ -8,11 +8,15 @@
      dune exec bench/main.exe -- fig12 fig16
 
    Available targets: fig11a fig11b fig12 fig13 fig14 fig15 fig16
-   fig17a fig17b fig17c joins labels boxes micro.  (fig14 and fig15
-   share one workload and always run together.)
+   fig17a fig17b fig17c joins labels boxes micro parallel.  (fig14
+   and fig15 share one workload and always run together.)
 
    Set LAZYXML_BENCH_SCALE=k to multiply the key dataset sizes of
-   figs 12-16 by k (paper-scale runs take minutes). *)
+   figs 12-16 by k (paper-scale runs take minutes).
+
+   --json <path> redirects the machine-readable output of figures
+   that emit one (currently [parallel] -> BENCH_join.json) to <path>;
+   the flag is shared wiring for the whole perf trajectory. *)
 
 (* (target, runner-id, runner): fig14 and fig15 share one runner. *)
 let targets : (string * string * (unit -> unit)) list =
@@ -31,10 +35,23 @@ let targets : (string * string * (unit -> unit)) list =
     ("labels", "labels", Ablation.run_labels);
     ("boxes", "boxes", Ablation.run_boxes);
     ("micro", "micro", Micro.run);
+    ("parallel", "parallel", Fig_parallel.run);
   ]
 
+(* Strips [--json <path>] (shared by all JSON-emitting figures) from
+   the argument list, recording the path in Bench_util. *)
+let rec extract_json_flag = function
+  | [] -> []
+  | "--json" :: path :: rest ->
+    Bench_util.json_path := Some path;
+    extract_json_flag rest
+  | "--json" :: [] ->
+    prerr_endline "--json requires a path argument";
+    exit 2
+  | arg :: rest -> arg :: extract_json_flag rest
+
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let requested = extract_json_flag (List.tl (Array.to_list Sys.argv)) in
   let names = List.map (fun (n, _, _) -> n) targets in
   let unknown = List.filter (fun r -> not (List.mem r names)) requested in
   if unknown <> [] then begin

@@ -10,6 +10,8 @@ type t = {
   engine : engine;
   mutable backend : backend;
   pack_threshold : int option;
+  domains : int;
+  mutable pool : Lxu_util.Domain_pool.t option;  (* created on first parallel query *)
 }
 
 type query_stats = {
@@ -25,13 +27,35 @@ let make_backend ~index_attributes = function
   | LS -> Log (Update_log.create ~mode:Update_log.Lazy_static ~index_attributes ())
   | STD -> Store (Interval_store.create ~index_attributes ())
 
-let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold () =
+let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains () =
   (match pack_threshold with
   | Some k when k < 1 -> invalid_arg "Lazy_db.create: pack_threshold < 1"
   | _ -> ());
-  { engine; backend = make_backend ~index_attributes engine; pack_threshold }
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Lazy_db.create: domains < 1";
+      d
+    | None -> Option.value (Lxu_util.Domain_pool.env_domains ()) ~default:1
+  in
+  { engine; backend = make_backend ~index_attributes engine; pack_threshold; domains;
+    pool = None }
 
 let engine t = t.engine
+let domains t = t.domains
+
+(* Parallel queries draw on the process-wide shared pool for their
+   domain count: databases are cheap and numerous, domains are neither
+   (OCaml caps them at 128), so per-database pools would not fly. *)
+let pool_of t =
+  if t.domains <= 1 then None
+  else
+    match t.pool with
+    | Some _ as p -> p
+    | None ->
+      let p = Lxu_util.Domain_pool.shared ~size:t.domains in
+      t.pool <- Some p;
+      Some p
 
 (* Forward declaration for the auto-packing hook. *)
 let rec insert t ~gp text =
@@ -77,7 +101,7 @@ let query t ?(axis = Descendant) ~anc ~desc () =
   match t.backend with
   | Log log ->
     let jaxis = match axis with Descendant -> Lxu_join.Lazy_join.Descendant | Child -> Lxu_join.Lazy_join.Child in
-    let pairs, stats = Lxu_join.Lazy_join.run ~axis:jaxis log ~anc ~desc () in
+    let pairs, stats = Lxu_join.Lazy_join.run ~axis:jaxis ?pool:(pool_of t) log ~anc ~desc () in
     let global = Lxu_join.Lazy_join.global_pairs log pairs in
     ( global,
       {
@@ -113,7 +137,7 @@ let count t ?(axis = Descendant) ~anc ~desc () =
   match t.backend with
   | Log log ->
     let jaxis = match axis with Descendant -> Lxu_join.Lazy_join.Descendant | Child -> Lxu_join.Lazy_join.Child in
-    let pairs, _ = Lxu_join.Lazy_join.run ~axis:jaxis log ~anc ~desc () in
+    let pairs, _ = Lxu_join.Lazy_join.run ~axis:jaxis ?pool:(pool_of t) log ~anc ~desc () in
     List.length pairs
   | Store store ->
     let jaxis = match axis with Descendant -> Lxu_join.Stack_tree_desc.Descendant | Child -> Lxu_join.Stack_tree_desc.Child in
@@ -169,8 +193,15 @@ let save t path =
     let oc = open_out_bin path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Update_log.save lg oc)
 
-let load path =
+let load ?domains path =
   let ic = open_in_bin path in
   let lg = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Update_log.load ic) in
   let engine = match Update_log.mode lg with Update_log.Lazy_dynamic -> LD | Update_log.Lazy_static -> LS in
-  { engine; backend = Log lg; pack_threshold = None }
+  let domains =
+    match domains with
+    | Some d ->
+      if d < 1 then invalid_arg "Lazy_db.load: domains < 1";
+      d
+    | None -> Option.value (Lxu_util.Domain_pool.env_domains ()) ~default:1
+  in
+  { engine; backend = Log lg; pack_threshold = None; domains; pool = None }

@@ -33,16 +33,34 @@ type query_stats = {
 }
 
 val create :
-  ?engine:engine -> ?index_attributes:bool -> ?pack_threshold:int -> unit -> t
+  ?engine:engine ->
+  ?index_attributes:bool ->
+  ?pack_threshold:int ->
+  ?domains:int ->
+  unit ->
+  t
 (** An empty database; [engine] defaults to [LD].  With
     [~index_attributes:true] attributes are indexed as subelements
     named ["@name"] and can appear in queries (e.g. [~desc:"@id"]).
     [pack_threshold] automates the paper's "maintenance hours": after
     any update leaving more than that many segments, the database is
     re-indexed as a single segment (ignored by [STD]).
-    @raise Invalid_argument if [pack_threshold < 1]. *)
+
+    [domains] sets the degree of query parallelism for the lazy
+    engines: with [domains > 1] Lazy-Join runs its per-segment join
+    units on a process-wide shared domain pool of that size (see
+    {!Lxu_util.Domain_pool}), returning results identical to the
+    sequential path.  Defaults to the [LXU_DOMAINS] environment
+    variable, or 1 (fully sequential) when unset.  The [STD] engine's
+    Stack-Tree-Desc baseline works on one global interval list whose
+    merge carries stack state across the whole scan, so it stays
+    sequential regardless of [domains].
+    @raise Invalid_argument if [pack_threshold < 1] or [domains < 1]. *)
 
 val engine : t -> engine
+
+val domains : t -> int
+(** The configured query parallelism (1 = sequential). *)
 
 val insert : t -> gp:int -> string -> unit
 (** Inserts a well-formed fragment at global byte position [gp].
@@ -101,8 +119,9 @@ val save : t -> string -> unit
     @raise Invalid_argument for the [STD] engine, which keeps no
     reconstructible state. *)
 
-val load : string -> t
+val load : ?domains:int -> string -> t
 (** Restores a database saved with {!save}; queries, updates and local
-    labels behave exactly as before the save.
+    labels behave exactly as before the save.  [domains] as in
+    {!create}.
     @raise Failure on a malformed snapshot.
     @raise Sys_error if the file cannot be read. *)

@@ -17,10 +17,34 @@ type stats = {
   mutable elements_fetched : int;
 }
 
+let zero_stats () =
+  {
+    a_segments = 0;
+    d_segments = 0;
+    segments_pushed = 0;
+    segments_skipped = 0;
+    in_segment_joins = 0;
+    cross_pairs = 0;
+    in_pairs = 0;
+    elements_fetched = 0;
+  }
+
+let add_stats into s =
+  into.a_segments <- into.a_segments + s.a_segments;
+  into.d_segments <- into.d_segments + s.d_segments;
+  into.segments_pushed <- into.segments_pushed + s.segments_pushed;
+  into.segments_skipped <- into.segments_skipped + s.segments_skipped;
+  into.in_segment_joins <- into.in_segment_joins + s.in_segment_joins;
+  into.cross_pairs <- into.cross_pairs + s.cross_pairs;
+  into.in_pairs <- into.in_pairs + s.in_pairs;
+  into.elements_fetched <- into.elements_fetched + s.elements_fetched
+
 type frame = {
   node : Er_node.t;
   depth : int;  (* ER-tree depth: index of [node.sid] in any descendant's path *)
-  mutable elems : elem_ref list;  (* candidate A-elements, by start *)
+  mutable elems : elem_ref array;
+      (* candidate A-elements, by start; replaced (never mutated in
+         place) so join units that captured an earlier version keep it *)
 }
 
 let contains_seg (a : Er_node.t) (d : Er_node.t) =
@@ -40,51 +64,208 @@ let p_of_frame log fr (path : int array) =
   if i + 1 >= Array.length path || path.(i) <> fr.node.Er_node.sid then raise Not_found
   else (Update_log.node_of_sid log path.(i + 1)).Er_node.lp
 
+(* Order-preserving filter that returns the input array untouched when
+   nothing is dropped — the common case on the push path. *)
+let array_filter keep a =
+  let n = Array.length a in
+  let kept = ref 0 in
+  let mask = Bytes.make n '\000' in
+  for i = 0 to n - 1 do
+    if keep a.(i) then begin
+      Bytes.unsafe_set mask i '\001';
+      incr kept
+    end
+  done;
+  if !kept = n then a
+  else if !kept = 0 then [||]
+  else begin
+    let r = Array.make !kept a.(0) in
+    let j = ref 0 in
+    for i = 0 to n - 1 do
+      if Bytes.unsafe_get mask i = '\001' then begin
+        r.(!j) <- a.(i);
+        incr j
+      end
+    done;
+    r
+  end
+
 (* Stack-Tree-Desc specialized to elem_ref arrays of one segment
    (virtual local labels), emitting pairs through [emit].  Avoids any
-   conversion to and from interval records on the hot output path. *)
+   conversion to and from interval records on the hot output path; the
+   ancestor stack is a growable array indexed by [top], so the inner
+   loop allocates nothing per push/pop. *)
 let in_segment_join ~axis ~anc ~desc ~emit =
   let n_a = Array.length anc and n_d = Array.length desc in
-  let stack = ref [] in
-  let ia = ref 0 and id = ref 0 in
-  while !id < n_d && (!ia < n_a || !stack <> []) do
-    let d = desc.(!id) in
-    let a_start = if !ia < n_a then anc.(!ia).start else max_int in
-    if a_start < d.start then begin
-      let a = anc.(!ia) in
-      while (match !stack with top :: _ -> top.stop <= a.start | [] -> false) do
-        stack := List.tl !stack
-      done;
-      stack := a :: !stack;
-      incr ia
-    end
-    else begin
-      while (match !stack with top :: _ -> top.stop <= d.start | [] -> false) do
-        stack := List.tl !stack
-      done;
-      List.iter
-        (fun a ->
+  if n_a > 0 && n_d > 0 then begin
+    let stack = ref (Array.make (min 16 n_a) anc.(0)) in
+    let top = ref 0 in
+    let push a =
+      if !top = Array.length !stack then begin
+        let bigger = Array.make (2 * !top) a in
+        Array.blit !stack 0 bigger 0 !top;
+        stack := bigger
+      end;
+      !stack.(!top) <- a;
+      incr top
+    in
+    let ia = ref 0 and id = ref 0 in
+    while !id < n_d && (!ia < n_a || !top > 0) do
+      let d = desc.(!id) in
+      let a_start = if !ia < n_a then anc.(!ia).start else max_int in
+      if a_start < d.start then begin
+        let a = anc.(!ia) in
+        while !top > 0 && (!stack).(!top - 1).stop <= a.start do
+          decr top
+        done;
+        push a;
+        incr ia
+      end
+      else begin
+        while !top > 0 && (!stack).(!top - 1).stop <= d.start do
+          decr top
+        done;
+        (* Innermost (most recently pushed) ancestor first, matching
+           the emission order of the list-stack original. *)
+        for j = !top - 1 downto 0 do
+          let a = (!stack).(j) in
           match axis with
           | Descendant -> emit a d
-          | Child -> if d.level = a.level + 1 then emit a d)
-        !stack;
-      incr id
-    end
+          | Child -> if d.level = a.level + 1 then emit a d
+        done;
+        incr id
+      end
+    done
+  end
+
+(* One unit of join generation (everything Step 3 of Figure 9 needs
+   for one SL_D entry), produced by the sequential segment-merge pass
+   and executable on any domain: it captures plain integers and
+   immutable element arrays, and its execution touches the log only
+   through the read-only element index. *)
+type d_task = {
+  d_sid : int;
+  cross : (int * elem_ref array) list;
+      (* (P_T^S, surviving A-elements) per stack frame, top first *)
+  in_seg : bool;  (* the same segment holds both tags *)
+}
+
+(* Runs one task: cross-segment emission (Proposition 3), then the
+   in-segment join.  [stats] and [out] are owned by the caller — under
+   the pool each chunk gets its own, merged afterwards. *)
+let exec_task ~axis ~fetch_a ~fetch_d ~stats ~out task =
+  let d_elems = lazy (fetch_d task.d_sid) in
+  List.iter
+    (fun (p, elems) ->
+      Array.iter
+        (fun (a : elem_ref) ->
+          if a.start < p && a.stop > p then
+            Array.iter
+              (fun (d : elem_ref) ->
+                let level_ok =
+                  match axis with
+                  | Descendant -> true
+                  | Child -> d.level = a.level + 1
+                in
+                if level_ok then begin
+                  Vec.push out { anc = a; desc = d };
+                  stats.cross_pairs <- stats.cross_pairs + 1
+                end)
+              (Lazy.force d_elems))
+        elems)
+    task.cross;
+  if task.in_seg then begin
+    let a_elems = fetch_a task.d_sid in
+    in_segment_join ~axis ~anc:a_elems ~desc:(Lazy.force d_elems) ~emit:(fun a d ->
+        Vec.push out { anc = a; desc = d };
+        stats.in_pairs <- stats.in_pairs + 1)
+  end
+
+(* The segment-merge pass of Figure 9 (steps 1-3): walks SL_A and SL_D
+   by global position with the segment stack and hands every surviving
+   SL_D entry to [emit_task] as a self-contained work unit.  All
+   ER-tree and tag-list access happens here, on the calling thread;
+   only element-index reads are deferred to the tasks. *)
+let plan ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld =
+  let stack = ref [] in
+  let ia = ref 0 and id = ref 0 in
+  while !id < Array.length sld && (!ia < Array.length sla || !stack <> []) do
+    let sd_entry = sld.(!id) in
+    let sd_node = Update_log.node_of_sid log sd_entry.Tag_list.sid in
+    match !stack with
+    | top :: rest when sd_node.Er_node.gp > top.node.Er_node.gp + top.node.Er_node.len ->
+      (* Step 1: the top segment cannot contain sd nor any later
+         segment of SL_D. *)
+      stack := rest
+    | _ ->
+      let sa_node =
+        if !ia < Array.length sla then
+          Some (Update_log.node_of_sid log sla.(!ia).Tag_list.sid)
+        else None
+      in
+      (match sa_node with
+      | Some sa when sa.Er_node.gp < sd_node.Er_node.gp ->
+        (* Step 2: push sa if it contains sd, else skip it forever
+           (segments nest as a tree, so not containing means
+           disjoint from everything at or after sd). *)
+        stats.a_segments <- stats.a_segments + 1;
+        if contains_seg sa sd_node then begin
+          (* Optimization (i): keep only A-elements that contain at
+             least one child-segment position. *)
+          let keep (r : elem_ref) =
+            (not push_filter)
+            || Vec.exists
+                 (fun (c : Er_node.t) -> r.start < c.Er_node.lp && c.Er_node.lp < r.stop)
+                 sa.Er_node.children
+          in
+          let elems = array_filter keep (fetch_a sa.Er_node.sid) in
+          (* Optimization (ii): drop from the current top the
+             elements that end at or before the position of sa —
+             they cannot contain sa or any later segment. *)
+          (match !stack with
+          | top :: _ when trim_top -> begin
+            match p_of_frame log top (Er_node.path sa) with
+            | p -> top.elems <- array_filter (fun (r : elem_ref) -> r.stop > p) top.elems
+            | exception Not_found -> ()
+          end
+          | _ -> ());
+          stack := { node = sa; depth = seg_depth sa; elems } :: !stack;
+          stats.segments_pushed <- stats.segments_pushed + 1
+        end
+        else stats.segments_skipped <- stats.segments_skipped + 1;
+        incr ia
+      | _ ->
+        (* Step 3: join generation for sd.  Parent-child pairs across
+           segments are decided by the absolute-level check at
+           execution time: with multi-rooted fragments an intermediate
+           segment can contribute zero element depth, so (unlike the
+           single-rooted case of §4.2) they are not confined to the
+           direct parent segment. *)
+        let cross =
+          List.filter_map
+            (fun fr ->
+              if Array.length fr.elems = 0 then None
+              else
+                match p_of_frame log fr sd_entry.Tag_list.path with
+                | p -> Some (p, fr.elems)
+                | exception Not_found -> None)
+            !stack
+        in
+        let in_seg =
+          match sa_node with
+          | Some sa when sa.Er_node.sid = sd_node.Er_node.sid -> true
+          | _ -> false
+        in
+        if in_seg then stats.in_segment_joins <- stats.in_segment_joins + 1;
+        if cross <> [] || in_seg then
+          emit_task { d_sid = sd_node.Er_node.sid; cross; in_seg };
+        stats.d_segments <- stats.d_segments + 1;
+        incr id)
   done
 
-let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) log ~anc ~desc () =
-  let stats =
-    {
-      a_segments = 0;
-      d_segments = 0;
-      segments_pushed = 0;
-      segments_skipped = 0;
-      in_segment_joins = 0;
-      cross_pairs = 0;
-      in_pairs = 0;
-      elements_fetched = 0;
-    }
-  in
+let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool log ~anc ~desc
+    () =
+  let stats = zero_stats () in
   Update_log.prepare_for_query log;
   let reg = Update_log.registry log in
   match (Tag_registry.find reg anc, Tag_registry.find reg desc) with
@@ -92,14 +273,12 @@ let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) log ~anc ~
   | Some tid_a, Some tid_d ->
     let sla = Update_log.segments_for_tag log ~tag:anc in
     let sld = Update_log.segments_for_tag log ~tag:desc in
-    let out = ref [] in
-    let stack = ref [] in
-    let ia = ref 0 and id = ref 0 in
     (* Elements of one tag in one segment, converted to refs once; the
-       refs are then shared by every emitted pair. *)
-    let fetch tid sid =
+       refs are then shared by every emitted pair.  [into] receives the
+       fetch count — the per-chunk stats record under the pool. *)
+    let fetch tid into sid =
       let keys = Update_log.elements_of log ~tid ~sid in
-      stats.elements_fetched <- stats.elements_fetched + Array.length keys;
+      into.elements_fetched <- into.elements_fetched + Array.length keys;
       Array.map
         (fun (k : Element_index.key) ->
           {
@@ -110,97 +289,48 @@ let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) log ~anc ~
           })
         keys
     in
-    while !id < Array.length sld && (!ia < Array.length sla || !stack <> []) do
-      let sd_entry = sld.(!id) in
-      let sd_node = Update_log.node_of_sid log sd_entry.Tag_list.sid in
-      match !stack with
-      | top :: rest
-        when sd_node.Er_node.gp > top.node.Er_node.gp + top.node.Er_node.len ->
-        (* Step 1: the top segment cannot contain sd nor any later
-           segment of SL_D. *)
-        stack := rest
-      | _ ->
-        let sa_node =
-          if !ia < Array.length sla then
-            Some (Update_log.node_of_sid log sla.(!ia).Tag_list.sid)
-          else None
-        in
-        (match sa_node with
-        | Some sa when sa.Er_node.gp < sd_node.Er_node.gp ->
-          (* Step 2: push sa if it contains sd, else skip it forever
-             (segments nest as a tree, so not containing means
-             disjoint from everything at or after sd). *)
-          stats.a_segments <- stats.a_segments + 1;
-          if contains_seg sa sd_node then begin
-            (* Optimization (i): keep only A-elements that contain at
-               least one child-segment position. *)
-            let keep (r : elem_ref) =
-              (not push_filter)
-              || Vec.exists
-                   (fun (c : Er_node.t) -> r.start < c.Er_node.lp && c.Er_node.lp < r.stop)
-                   sa.Er_node.children
-            in
-            let elems = Array.to_list (fetch tid_a sa.Er_node.sid) |> List.filter keep in
-            (* Optimization (ii): drop from the current top the
-               elements that end at or before the position of sa —
-               they cannot contain sa or any later segment. *)
-            (match !stack with
-            | top :: _ when trim_top -> begin
-              match p_of_frame log top (Er_node.path sa) with
-              | p -> top.elems <- List.filter (fun (r : elem_ref) -> r.stop > p) top.elems
-              | exception Not_found -> ()
-            end
-            | _ -> ());
-            stack := { node = sa; depth = seg_depth sa; elems } :: !stack;
-            stats.segments_pushed <- stats.segments_pushed + 1
-          end
-          else stats.segments_skipped <- stats.segments_skipped + 1;
-          incr ia
-        | _ ->
-          (* Step 3: join generation for sd. *)
-          let d_elems = lazy (fetch tid_d sd_node.Er_node.sid) in
-          List.iter
-            (fun fr ->
-              (* Parent-child pairs across segments are decided by the
-                 absolute-level check below: with multi-rooted
-                 fragments an intermediate segment can contribute zero
-                 element depth, so (unlike the single-rooted case of
-                 §4.2) they are not confined to the direct parent
-                 segment. *)
-              match p_of_frame log fr sd_entry.Tag_list.path with
-              | exception Not_found -> ()
-              | p ->
-                List.iter
-                  (fun (a : elem_ref) ->
-                    if a.start < p && a.stop > p then
-                      Array.iter
-                        (fun (d : elem_ref) ->
-                          let level_ok =
-                            match axis with
-                            | Descendant -> true
-                            | Child -> d.level = a.level + 1
-                          in
-                          if level_ok then begin
-                            out := { anc = a; desc = d } :: !out;
-                            stats.cross_pairs <- stats.cross_pairs + 1
-                          end)
-                        (Lazy.force d_elems))
-                  fr.elems)
-            !stack;
-          (* In-segment joins when the same segment holds both tags. *)
-          (match sa_node with
-          | Some sa when sa.Er_node.sid = sd_node.Er_node.sid ->
-            stats.in_segment_joins <- stats.in_segment_joins + 1;
-            let a_elems = fetch tid_a sa.Er_node.sid in
-            in_segment_join ~axis ~anc:a_elems ~desc:(Lazy.force d_elems)
-              ~emit:(fun a d ->
-                out := { anc = a; desc = d } :: !out;
-                stats.in_pairs <- stats.in_pairs + 1)
-          | _ -> ());
-          stats.d_segments <- stats.d_segments + 1;
-          incr id)
-    done;
-    (List.rev !out, stats)
+    let parallel =
+      match pool with
+      | Some p when Domain_pool.size p > 1 && Array.length sld > 1 -> Some p
+      | _ -> None
+    in
+    (match parallel with
+    | None ->
+      (* Sequential: execute each join unit as the merge produces it. *)
+      let out = Vec.create () in
+      plan ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
+        ~emit_task:
+          (exec_task ~axis ~fetch_a:(fetch tid_a stats) ~fetch_d:(fetch tid_d stats)
+             ~stats ~out)
+        log ~sla ~sld;
+      (Vec.to_list out, stats)
+    | Some p ->
+      (* Parallel: the merge pass collects the join units, the pool
+         executes them with per-task output buffers and stats, and the
+         merge below re-reads both in task order — so pairs come out
+         byte-identical to the sequential path and stats totals are
+         exact, not approximate. *)
+      let tasks = Vec.create () in
+      plan ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
+        ~emit_task:(Vec.push tasks) log ~sla ~sld;
+      let tasks = Vec.to_array tasks in
+      let results =
+        Domain_pool.map p (Array.length tasks) (fun i ->
+            let lstats = zero_stats () in
+            let out = Vec.create () in
+            exec_task ~axis ~fetch_a:(fetch tid_a lstats) ~fetch_d:(fetch tid_d lstats)
+              ~stats:lstats ~out tasks.(i);
+            (out, lstats))
+      in
+      let acc = ref [] in
+      for i = Array.length results - 1 downto 0 do
+        let out, _ = results.(i) in
+        for j = Vec.length out - 1 downto 0 do
+          acc := Vec.get out j :: !acc
+        done
+      done;
+      Array.iter (fun (_, lstats) -> add_stats stats lstats) results;
+      (!acc, stats))
 
 let global_pairs log pairs =
   let gstart (r : elem_ref) =

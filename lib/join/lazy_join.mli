@@ -15,7 +15,17 @@
 
     Under a [Lazy_static] log the pre-query sorting cost is incurred
     here (the run calls {!Lxu_seglog.Update_log.prepare_for_query}),
-    matching the paper's LS accounting. *)
+    matching the paper's LS accounting.
+
+    With [?pool], the element-level work is executed segment-parallel
+    on OCaml 5 domains: the segment-merge pass (which touches the
+    mutable ER-tree, SB-tree and tag lists) stays on the calling
+    thread and produces one self-contained join unit per surviving
+    SL_D entry; the pool then runs the units' in-segment joins and
+    cross-segment emission in chunks, each with its own output buffer
+    and stats record, merged back in unit order.  Pairs and stats are
+    therefore identical to the sequential path — order included —
+    regardless of pool size or schedule. *)
 
 type axis = Descendant | Child
 
@@ -40,6 +50,7 @@ val run :
   ?axis:axis ->
   ?push_filter:bool ->
   ?trim_top:bool ->
+  ?pool:Lxu_util.Domain_pool.t ->
   Lxu_seglog.Update_log.t ->
   anc:string ->
   desc:string ->
@@ -54,7 +65,11 @@ val run :
     (default on) is optimization (ii): on each push, drop from the top
     frame the elements ending before the pushed segment.  Both flags
     exist for the ablation benchmark; disabling them changes cost, not
-    results. *)
+    results.
+
+    [pool] runs the per-segment join units on the given domain pool
+    (see the module comment); omitted, or with a pool of size 1, the
+    run is fully sequential.  Results never depend on the choice. *)
 
 val global_pairs : Lxu_seglog.Update_log.t -> pair list -> (int * int) list
 (** Translates pairs to [(anc_gstart, desc_gstart)] global positions,

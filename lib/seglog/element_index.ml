@@ -24,25 +24,30 @@ end
 
 module T = Bptree.Make (K)
 
-type t = { tree : unit T.t; mutable accesses : int }
+(* [accesses] is atomic so that concurrent read-side scans (parallel
+   Lazy-Join fetches element arrays from worker domains) stay race-free;
+   the tree itself is only ever mutated between queries. *)
+type t = { tree : unit T.t; accesses : int Atomic.t }
 
-let create ?(branching = 32) () = { tree = T.create ~branching (); accesses = 0 }
+let create ?(branching = 32) () = { tree = T.create ~branching (); accesses = Atomic.make 0 }
 
 let size t = T.length t.tree
 
 let add t k =
-  t.accesses <- t.accesses + 1;
+  Atomic.incr t.accesses;
   T.insert t.tree k ()
 
 let remove t k =
-  t.accesses <- t.accesses + 1;
+  Atomic.incr t.accesses;
   T.remove t.tree k
 
 let iter_segment t ~tid ~sid f =
   let lo = { tid; sid; start = min_int; stop = min_int; level = min_int } in
+  let touched = ref 0 in
   T.iter_from t.tree lo (fun k () ->
-      t.accesses <- t.accesses + 1;
-      if k.tid = tid && k.sid = sid then f k else false)
+      incr touched;
+      if k.tid = tid && k.sid = sid then f k else false);
+  ignore (Atomic.fetch_and_add t.accesses !touched)
 
 let elements_of_segment t ~tid ~sid =
   let acc = ref [] in
@@ -53,7 +58,7 @@ let elements_of_segment t ~tid ~sid =
 
 let iter_all t f = T.iter t.tree (fun k () -> f k)
 
-let accesses t = t.accesses
+let accesses t = Atomic.get t.accesses
 
 let size_bytes t =
   (* 5 ints per key plus tree node overhead, roughly. *)

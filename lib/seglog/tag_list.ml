@@ -2,43 +2,69 @@ open Lxu_util
 
 type entry = { sid : int; path : int array; mutable count : int }
 
+(* One per-tag list with its own dirty bit: an LS-mode append soils
+   only the tag it touches, so the pre-query sort re-sorts exactly the
+   updated tags instead of every list in the table. *)
+type slot = { entries : entry Vec.t; mutable dirty : bool }
+
 type t = {
-  lists : (int, entry Vec.t) Hashtbl.t;
-  mutable dirty : bool;
+  lists : (int, slot) Hashtbl.t;
+  mutable dirty_count : int;  (* number of dirty slots, for O(1) is_dirty *)
   mutable path_ops : int;
 }
 
-let create () = { lists = Hashtbl.create 64; dirty = false; path_ops = 0 }
+let create () = { lists = Hashtbl.create 64; dirty_count = 0; path_ops = 0 }
 
-let list_for t tid =
+let slot_for t tid =
   match Hashtbl.find_opt t.lists tid with
-  | Some v -> v
+  | Some s -> s
   | None ->
-    let v = Vec.create () in
-    Hashtbl.add t.lists tid v;
-    v
+    let s = { entries = Vec.create (); dirty = false } in
+    Hashtbl.add t.lists tid s;
+    s
+
+let soil t s =
+  if not s.dirty then begin
+    s.dirty <- true;
+    t.dirty_count <- t.dirty_count + 1
+  end
 
 let add_sorted t ~tid entry ~gp_of =
-  let v = list_for t tid in
-  let gp = gp_of entry.sid in
-  let i = Vec.lower_bound v ~compare:(fun e -> if gp_of e.sid <= gp then -1 else 0) in
-  Vec.insert_at v i entry;
+  let s = slot_for t tid in
+  if s.dirty then Vec.push s.entries entry (* sorted on the next sort_all anyway *)
+  else begin
+    let gp = gp_of entry.sid in
+    let i =
+      Vec.lower_bound s.entries ~compare:(fun e -> if gp_of e.sid <= gp then -1 else 0)
+    in
+    Vec.insert_at s.entries i entry
+  end;
   t.path_ops <- t.path_ops + 1
 
 let append t ~tid entry =
-  Vec.push (list_for t tid) entry;
-  t.dirty <- true;
+  let s = slot_for t tid in
+  Vec.push s.entries entry;
+  soil t s;
   t.path_ops <- t.path_ops + 1
 
 let sort_all t ~gp_of =
-  if t.dirty then begin
-    Hashtbl.iter (fun _ v -> Vec.sort (fun a b -> Int.compare (gp_of a.sid) (gp_of b.sid)) v)
+  if t.dirty_count > 0 then begin
+    Hashtbl.iter
+      (fun _ s ->
+        if s.dirty then begin
+          Vec.sort (fun a b -> Int.compare (gp_of a.sid) (gp_of b.sid)) s.entries;
+          s.dirty <- false
+        end)
       t.lists;
-    t.dirty <- false
+    t.dirty_count <- 0
   end
 
-let is_dirty t = t.dirty
-let mark_dirty t = t.dirty <- true
+let is_dirty t = t.dirty_count > 0
+
+let mark_dirty t =
+  (* Conservative full invalidation (benchmark helper / external
+     staleness signal): every list pays the next sort. *)
+  Hashtbl.iter (fun _ s -> soil t s) t.lists
 
 let remove_where t v pred =
   let kept = Vec.create () in
@@ -51,18 +77,19 @@ let remove_where t v pred =
 let decrement t ~tid ~sid ~by =
   match Hashtbl.find_opt t.lists tid with
   | None -> ()
-  | Some v ->
-    Vec.iter (fun e -> if e.sid = sid then e.count <- e.count - by) v;
-    remove_where t v (fun e -> e.sid = sid && e.count <= 0)
+  | Some s ->
+    Vec.iter (fun e -> if e.sid = sid then e.count <- e.count - by) s.entries;
+    remove_where t s.entries (fun e -> e.sid = sid && e.count <= 0)
 
 let remove_segment t ~sid =
-  Hashtbl.iter (fun _ v -> remove_where t v (fun e -> e.sid = sid)) t.lists
+  Hashtbl.iter (fun _ s -> remove_where t s.entries (fun e -> e.sid = sid)) t.lists
 
 let entries t ~tid =
-  if t.dirty then failwith "Tag_list.entries: dirty list, call sort_all first";
   match Hashtbl.find_opt t.lists tid with
   | None -> [||]
-  | Some v -> Vec.to_array v
+  | Some s ->
+    if s.dirty then failwith "Tag_list.entries: dirty list, call sort_all first";
+    Vec.to_array s.entries
 
 let tids t = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.lists [] |> List.sort Int.compare
 
@@ -70,6 +97,6 @@ let path_ops t = t.path_ops
 
 let size_bytes t =
   Hashtbl.fold
-    (fun _ v acc ->
-      acc + Vec.fold_left (fun a e -> a + (8 * (Array.length e.path + 3))) 0 v)
+    (fun _ s acc ->
+      acc + Vec.fold_left (fun a e -> a + (8 * (Array.length e.path + 3))) 0 s.entries)
     t.lists 0

@@ -20,18 +20,22 @@ val add_sorted : t -> tid:int -> entry -> gp_of:(int -> int) -> unit
     [gp_of] resolves a segment's current global position. *)
 
 val append : t -> tid:int -> entry -> unit
-(** Appends without sorting and marks the list dirty (the LS
-    discipline). *)
+(** Appends without sorting and marks {e that tag's} list dirty (the
+    LS discipline).  Dirtiness is tracked per tag, so updating one tag
+    never forces a re-sort of the others. *)
 
 val sort_all : t -> gp_of:(int -> int) -> unit
 (** Sorts every dirty per-tag list by segment global position — the
-    LS pre-query step.  No-op on clean lists. *)
+    LS pre-query step.  Clean lists (including all lists of tags no
+    update touched) are left alone. *)
 
 val is_dirty : t -> bool
+(** Whether any per-tag list is dirty (O(1)). *)
 
 val mark_dirty : t -> unit
-(** Forces the next {!sort_all} to re-sort (benchmark helper for
-    re-measuring the LS pre-query cost). *)
+(** Marks every per-tag list dirty, forcing the next {!sort_all} to
+    re-sort all of them (benchmark helper for re-measuring the full LS
+    pre-query cost). *)
 
 val decrement : t -> tid:int -> sid:int -> by:int -> unit
 (** Lowers the element count of [(tid, sid)]; the entry is removed
@@ -44,7 +48,8 @@ val remove_segment : t -> sid:int -> unit
 
 val entries : t -> tid:int -> entry array
 (** Entries for a tag in global-position order.
-    @raise Failure if the list is dirty (call {!sort_all} first). *)
+    @raise Failure if {e this tag's} list is dirty (call {!sort_all}
+    first); other tags being dirty does not block the read. *)
 
 val tids : t -> int list
 

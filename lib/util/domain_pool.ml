@@ -1,0 +1,203 @@
+type job = {
+  total : int;
+  chunk : int;
+  fn : int -> unit;
+  mutable next : int;  (* first unclaimed index, under [mu] *)
+  mutable in_flight : int;  (* claimed chunks still running, under [mu] *)
+  mutable failed : (exn * Printexc.raw_backtrace) option;
+}
+
+type t = {
+  size : int;
+  mu : Mutex.t;
+  work : Condition.t;  (* workers: a new task set (or shutdown) arrived *)
+  finished : Condition.t;  (* submitters: task set completed / slot freed *)
+  mutable job : job option;
+  mutable epoch : int;  (* bumped per submission so workers detect new sets *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type ticket = { pool : t; tjob : job }
+
+let env_domains () =
+  match Sys.getenv_opt "LXU_DOMAINS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some d when d >= 1 -> Some d
+    | _ -> None)
+
+let default_size () =
+  match env_domains () with
+  | Some d -> min d 64
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+let size t = t.size
+
+let done_ j = j.next >= j.total && j.in_flight = 0
+
+(* Claim + completion both happen under [mu]: a chunk is never visible
+   as unclaimed while the set looks complete, so [await] cannot return
+   early.  Chunks keep the critical section off the per-task path. *)
+let participate t (j : job) =
+  let continue_ = ref true in
+  while !continue_ do
+    Mutex.lock t.mu;
+    if j.next >= j.total then begin
+      Mutex.unlock t.mu;
+      continue_ := false
+    end
+    else begin
+      let lo = j.next in
+      let hi = min j.total (lo + j.chunk) in
+      j.next <- hi;
+      j.in_flight <- j.in_flight + 1;
+      Mutex.unlock t.mu;
+      (try
+         for i = lo to hi - 1 do
+           j.fn i
+         done
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock t.mu;
+         if j.failed = None then j.failed <- Some (e, bt);
+         (* Abandon unclaimed tasks; claimed chunks drain normally. *)
+         j.next <- j.total;
+         Mutex.unlock t.mu);
+      Mutex.lock t.mu;
+      j.in_flight <- j.in_flight - 1;
+      if done_ j then begin
+        (match t.job with Some k when k == j -> t.job <- None | _ -> ());
+        Condition.broadcast t.finished
+      end;
+      Mutex.unlock t.mu
+    end
+  done
+
+let rec worker_loop t seen =
+  Mutex.lock t.mu;
+  while (not t.stop) && t.epoch = seen do
+    Condition.wait t.work t.mu
+  done;
+  let stop = t.stop in
+  let seen = t.epoch in
+  let j = t.job in
+  Mutex.unlock t.mu;
+  if not stop then begin
+    (match j with Some j -> participate t j | None -> ());
+    worker_loop t seen
+  end
+
+let create ?size () =
+  let size =
+    match size with
+    | None -> min 64 (default_size ())
+    | Some s ->
+      if s < 1 then invalid_arg "Domain_pool.create: size < 1";
+      min s 64
+  in
+  let t =
+    {
+      size;
+      mu = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      epoch = 0;
+      stop = false;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let submit ?chunk t n fn =
+  if n < 0 then invalid_arg "Domain_pool.submit: negative task count";
+  let chunk =
+    match chunk with
+    | Some c -> max 1 c
+    | None -> max 1 (n / (8 * t.size))
+  in
+  let j = { total = n; chunk; fn; next = 0; in_flight = 0; failed = None } in
+  Mutex.lock t.mu;
+  while t.job <> None && not t.stop do
+    Condition.wait t.finished t.mu
+  done;
+  if t.stop then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Domain_pool.submit: pool is shut down"
+  end;
+  if n > 0 then begin
+    t.job <- Some j;
+    t.epoch <- t.epoch + 1;
+    Condition.broadcast t.work
+  end;
+  Mutex.unlock t.mu;
+  { pool = t; tjob = j }
+
+let await tk =
+  let t = tk.pool and j = tk.tjob in
+  participate t j;
+  Mutex.lock t.mu;
+  while not (done_ j) do
+    Condition.wait t.finished t.mu
+  done;
+  Mutex.unlock t.mu;
+  match j.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let map ?chunk t n f =
+  if n <= 0 then [||]
+  else if t.size = 1 || n = 1 then Array.init n f
+  else begin
+    let results = Array.make n None in
+    let tk = submit ?chunk t n (fun i -> results.(i) <- Some (f i)) in
+    await tk;
+    Array.map
+      (function Some v -> v | None -> failwith "Domain_pool.map: task abandoned")
+      results
+  end
+
+let shutdown t =
+  Mutex.lock t.mu;
+  if t.stop then Mutex.unlock t.mu
+  else begin
+    while t.job <> None do
+      Condition.wait t.finished t.mu
+    done;
+    t.stop <- true;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mu;
+    List.iter Domain.join t.workers;
+    t.workers <- []
+  end
+
+(* --- shared pools ---------------------------------------------------- *)
+
+let shared_mu = Mutex.create ()
+let shared_pools : (int, t) Hashtbl.t = Hashtbl.create 4
+let at_exit_registered = ref false
+
+let shared ~size =
+  Mutex.lock shared_mu;
+  let pool =
+    match Hashtbl.find_opt shared_pools size with
+    | Some p -> p
+    | None ->
+      if not !at_exit_registered then begin
+        at_exit_registered := true;
+        at_exit (fun () ->
+            Mutex.lock shared_mu;
+            let pools = Hashtbl.fold (fun _ p acc -> p :: acc) shared_pools [] in
+            Hashtbl.reset shared_pools;
+            Mutex.unlock shared_mu;
+            List.iter shutdown pools)
+      end;
+      let p = create ~size () in
+      Hashtbl.add shared_pools size p;
+      p
+  in
+  Mutex.unlock shared_mu;
+  pool

@@ -19,4 +19,5 @@ let () =
       ("boxes", Test_boxes.suite);
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);
+      ("parallel_join", Test_parallel_join.suite);
     ]
