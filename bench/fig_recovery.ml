@@ -1,0 +1,120 @@
+(* Recovery-time target: how fast a crashed database comes back, and
+   what a checkpoint buys.
+
+   For a range of update counts N the harness builds a durable
+   database (one WAL record per update), then measures:
+
+     wal_replay_ms        recover from an empty base + N-record WAL
+     checkpoint_ms        snapshot + rotate at N updates
+     snap_recover_ms      recover from snapshot + empty WAL
+     mixed_recover_ms     recover from snapshot + N/2-record suffix
+
+   Machine-readable output goes to BENCH_recovery.json (or the path
+   given with --json).  The headline claim: checkpointed recovery is
+   O(snapshot) instead of O(history), so snap_recover_ms stays far
+   below wal_replay_ms as N grows. *)
+
+open Lazy_xml
+open Bench_util
+
+let fragment i =
+  match i mod 3 with
+  | 0 -> "<person><name>p</name><phone>5</phone></person>"
+  | 1 -> "<item><price>12</price></item>"
+  | _ -> "<note>x</note>"
+
+(* A workload of [n] updates on a durable database rooted in [dir]:
+   inserts just inside the root, with every 10th update removing the
+   fragment it follows — enough churn to exercise remove records. *)
+let apply_workload db n =
+  Lazy_db.insert db ~gp:0 "<db></db>";
+  for i = 1 to n - 1 do
+    let frag = fragment i in
+    Lazy_db.insert db ~gp:4 frag;
+    if i mod 10 = 0 then Lazy_db.remove db ~gp:4 ~len:(String.length frag)
+  done
+
+let fresh_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "lazyxml_bench_recovery_%d_%d" (Unix.getpid ()) !counter)
+    in
+    d
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let recover_ms dir =
+  measure ~repeat:3 (fun () ->
+      let db, _ = Lazy_db.recover dir in
+      Lazy_db.close db)
+
+let measure_one n =
+  let dir = fresh_dir () in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let db = Lazy_db.create ~durability:(`Wal dir) () in
+      apply_workload db n;
+      Lazy_db.close db;
+      let wal_bytes = (Unix.stat (Lxu_storage.Wal_store.wal_path dir)).Unix.st_size in
+      let wal_replay_ms = recover_ms dir in
+      (* Reopen for real so checkpoint appends to a live store. *)
+      let db, _ = Lazy_db.recover dir in
+      let checkpoint_ms = measure ~repeat:3 (fun () -> Lazy_db.checkpoint db) in
+      Lazy_db.close db;
+      let snap_recover_ms = recover_ms dir in
+      let db, _ = Lazy_db.recover dir in
+      apply_workload db (n / 2);
+      Lazy_db.close db;
+      let mixed_recover_ms = recover_ms dir in
+      let records_per_sec =
+        if wal_replay_ms > 0.0 then float_of_int n /. (wal_replay_ms /. 1000.0) else 0.0
+      in
+      columns [ 10; 12; 14; 12; 14; 14; 14 ]
+        [
+          string_of_int n;
+          string_of_int wal_bytes;
+          fmt_ms wal_replay_ms;
+          fmt_ms checkpoint_ms;
+          fmt_ms snap_recover_ms;
+          fmt_ms mixed_recover_ms;
+          Printf.sprintf "%.0f" records_per_sec;
+        ];
+      J_obj
+        [
+          ("updates", J_int n);
+          ("wal_bytes", J_int wal_bytes);
+          ("wal_replay_ms", J_float wal_replay_ms);
+          ("checkpoint_ms", J_float checkpoint_ms);
+          ("snap_recover_ms", J_float snap_recover_ms);
+          ("mixed_recover_ms", J_float mixed_recover_ms);
+          ("replay_records_per_sec", J_float records_per_sec);
+        ])
+
+let run () =
+  header "Recovery: WAL replay vs checkpointed restart";
+  Printf.printf "(one WAL record per update; recover = snapshot + suffix replay)\n";
+  columns [ 10; 12; 14; 12; 14; 14; 14 ]
+    [ "updates"; "wal bytes"; "replay ms"; "ckpt ms"; "snap rec ms"; "mixed rec ms"; "rec/s" ];
+  let sizes = List.map (fun n -> n * scale) [ 100; 300; 1000 ] in
+  let series = List.map measure_one sizes in
+  let json =
+    J_obj
+      [
+        ("bench", J_str "recovery");
+        ("scale", J_int scale);
+        ("series", J_list series);
+        ( "notes",
+          J_str
+            "wal_replay_ms grows with history; snap_recover_ms tracks snapshot size only — \
+             the checkpoint bounds restart time." );
+      ]
+  in
+  write_json (json_out ~default:"BENCH_recovery.json") json

@@ -224,6 +224,73 @@ let restore_cmd =
   Cmd.v (Cmd.info "restore" ~doc:"Restore and validate an index snapshot.")
     Term.(const run $ snap)
 
+(* --- durability: checkpoint / recover ------------------------------------ *)
+
+let print_report dir (r : Lxu_storage.Recovery.report) =
+  Printf.printf "recovered %s: snapshot lsn %d, %d wal record(s) replayed, %d skipped\n" dir
+    r.Lxu_storage.Recovery.snapshot_lsn r.Lxu_storage.Recovery.records_applied
+    r.Lxu_storage.Recovery.records_skipped;
+  match r.Lxu_storage.Recovery.corruption with
+  | None -> ()
+  | Some why ->
+    Printf.printf "  truncated %d corrupt byte(s): %s\n"
+      (r.Lxu_storage.Recovery.total_bytes - r.Lxu_storage.Recovery.valid_bytes) why
+
+let checkpoint_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+                   ~doc:"WAL durability directory.") in
+  let from = Arg.(value & opt (some file) None & info [ "from" ] ~docv:"DOC"
+                    ~doc:"Initialise $(i,DIR) fresh from this XML document before checkpointing \
+                          (otherwise $(i,DIR) is recovered first).") in
+  let run dir engine segments shape from =
+    let db =
+      match from with
+      | Some doc ->
+        let text = read_file doc in
+        let db = Lazy_db.create ~engine:(engine_of_string engine) ~durability:(`Wal dir) () in
+        if segments <= 1 then Lazy_db.insert db ~gp:0 text
+        else
+          List.iter
+            (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+            (Lxu_workload.Chopper.chop ~text ~segments (shape_of_string shape));
+        db
+      | None ->
+        let db, report = Lazy_db.recover dir in
+        print_report dir report;
+        db
+    in
+    Lazy_db.checkpoint db;
+    Lazy_db.close db;
+    Printf.printf "checkpointed %d segment(s), %d element(s), %d byte(s) into %s\n"
+      (Lazy_db.segment_count db) (Lazy_db.element_count db) (Lazy_db.doc_length db) dir
+  in
+  Cmd.v
+    (Cmd.info "checkpoint"
+       ~doc:"Snapshot a WAL directory's database and rotate its log to empty.")
+    Term.(const run $ dir $ engine_arg $ segments_arg $ shape_arg $ from)
+
+let recover_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+                   ~doc:"WAL durability directory.") in
+  let out = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+                   ~doc:"Also write the recovered document text to $(docv).") in
+  let run dir out =
+    let db, report = Lazy_db.recover dir in
+    print_report dir report;
+    Printf.printf "state: %d segment(s), %d element(s), %d byte(s) of document\n"
+      (Lazy_db.segment_count db) (Lazy_db.element_count db) (Lazy_db.doc_length db);
+    (match out with
+    | None -> ()
+    | Some path ->
+      write_file path (Lazy_db.text db);
+      Printf.printf "wrote %d bytes to %s\n" (Lazy_db.doc_length db) path);
+    Lazy_db.close db
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:"Recover a database from snapshot + WAL, repairing a torn or corrupt tail.")
+    Term.(const run $ dir $ out)
+
 (* --- chop ----------------------------------------------------------------- *)
 
 let chop_cmd =
@@ -243,4 +310,8 @@ let () =
     Cmd.info "lazyxml" ~version:"1.0.0"
       ~doc:"Lazy XML updates and segment-aware structural joins (SIGMOD 2005 reproduction)."
   in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; stats_cmd; insert_cmd; remove_cmd; generate_cmd; chop_cmd; path_cmd; save_cmd; restore_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ query_cmd; stats_cmd; insert_cmd; remove_cmd; generate_cmd; chop_cmd; path_cmd;
+            save_cmd; restore_cmd; checkpoint_cmd; recover_cmd ]))

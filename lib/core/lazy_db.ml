@@ -12,6 +12,7 @@ type t = {
   pack_threshold : int option;
   domains : int;
   mutable pool : Lxu_util.Domain_pool.t option;  (* created on first parallel query *)
+  mutable durable : Lxu_storage.Wal_store.t option;  (* WAL home, when durability is on *)
 }
 
 type query_stats = {
@@ -27,7 +28,13 @@ let make_backend ~index_attributes = function
   | LS -> Log (Update_log.create ~mode:Update_log.Lazy_static ~index_attributes ())
   | STD -> Store (Interval_store.create ~index_attributes ())
 
-let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains () =
+let mode_of_engine = function
+  | LD -> Update_log.Lazy_dynamic
+  | LS -> Update_log.Lazy_static
+  | STD -> invalid_arg "Lazy_db: the STD engine keeps no reconstructible state"
+
+let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains
+    ?(durability = `None) () =
   (match pack_threshold with
   | Some k when k < 1 -> invalid_arg "Lazy_db.create: pack_threshold < 1"
   | _ -> ());
@@ -38,8 +45,17 @@ let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains (
       d
     | None -> Option.value (Lxu_util.Domain_pool.env_domains ()) ~default:1
   in
+  let durable =
+    match durability with
+    | `None -> None
+    | `Wal dir ->
+      if engine = STD then
+        invalid_arg "Lazy_db.create: durability requires a lazy engine (LD or LS)";
+      Some
+        (Lxu_storage.Wal_store.fresh ~dir ~mode:(mode_of_engine engine) ~index_attributes)
+  in
   { engine; backend = make_backend ~index_attributes engine; pack_threshold; domains;
-    pool = None }
+    pool = None; durable }
 
 let engine t = t.engine
 let domains t = t.domains
@@ -57,17 +73,28 @@ let pool_of t =
       t.pool <- Some p;
       Some p
 
+(* The WAL records an operation only after the in-memory apply
+   validates it (bounds, well-formedness): the log must replay
+   cleanly, so it never holds a record for an update that was
+   rejected.  A crash between apply and commit loses at most the
+   uncommitted tail — indistinguishable from crashing just before
+   those updates. *)
+let log_op t op =
+  match t.durable with None -> () | Some s -> Lxu_storage.Wal_store.log_op s op
+
 (* Forward declaration for the auto-packing hook. *)
 let rec insert t ~gp text =
   (match t.backend with
   | Log log -> ignore (Update_log.insert log ~gp text)
   | Store store -> Interval_store.insert store ~gp text);
+  log_op t (Lxu_storage.Wal.Insert { gp; text });
   maybe_pack t
 
 and remove t ~gp ~len =
   (match t.backend with
   | Log log -> Update_log.remove log ~gp ~len
   | Store store -> Interval_store.remove store ~gp ~len);
+  log_op t (Lxu_storage.Wal.Remove { gp; len });
   maybe_pack t
 
 (* The paper's "maintenance hours" automated: past the threshold the
@@ -160,7 +187,8 @@ let rebuild t =
     let mode = Update_log.mode log in
     let fresh = Update_log.create ~mode ~index_attributes:(Update_log.indexes_attributes log) () in
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
-    t.backend <- Log fresh
+    t.backend <- Log fresh;
+    log_op t Lxu_storage.Wal.Rebuild
 
 let pack_subtree t ~gp ~len =
   match t.backend with
@@ -171,7 +199,10 @@ let pack_subtree t ~gp ~len =
       invalid_arg "Lazy_db.pack_subtree: range out of bounds";
     let slice = String.sub whole gp len in
     Update_log.remove log ~gp ~len;
-    ignore (Update_log.insert log ~gp slice)
+    ignore (Update_log.insert log ~gp slice);
+    (* One logical record: replay re-executes the pack, keeping the
+       recovered segment structure identical. *)
+    log_op t (Lxu_storage.Wal.Pack { gp; len })
 
 let log t = match t.backend with Log log -> Some log | Store _ -> None
 let store t = match t.backend with Store s -> Some s | Log _ -> None
@@ -193,15 +224,62 @@ let save t path =
     let oc = open_out_bin path in
     Fun.protect ~finally:(fun () -> close_out oc) (fun () -> Update_log.save lg oc)
 
-let load ?domains path =
-  let ic = open_in_bin path in
-  let lg = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> Update_log.load ic) in
-  let engine = match Update_log.mode lg with Update_log.Lazy_dynamic -> LD | Update_log.Lazy_static -> LS in
-  let domains =
-    match domains with
-    | Some d ->
-      if d < 1 then invalid_arg "Lazy_db.load: domains < 1";
-      d
-    | None -> Option.value (Lxu_util.Domain_pool.env_domains ()) ~default:1
+let resolve_domains ~who domains =
+  match domains with
+  | Some d ->
+    if d < 1 then invalid_arg (who ^ ": domains < 1");
+    d
+  | None -> Option.value (Lxu_util.Domain_pool.env_domains ()) ~default:1
+
+let of_log ?domains lg =
+  let engine =
+    match Update_log.mode lg with Update_log.Lazy_dynamic -> LD | Update_log.Lazy_static -> LS
   in
-  { engine; backend = Log lg; pack_threshold = None; domains; pool = None }
+  { engine; backend = Log lg; pack_threshold = None;
+    domains = resolve_domains ~who:"Lazy_db.of_log" domains; pool = None; durable = None }
+
+let checkpoint t =
+  match (t.durable, t.backend) with
+  | None, _ ->
+    invalid_arg "Lazy_db.checkpoint: database has no WAL (create with ~durability:(`Wal dir))"
+  | Some _, Store _ -> assert false (* create rejects STD + durability *)
+  | Some s, Log log -> Lxu_storage.Wal_store.checkpoint s log
+
+let batch t f =
+  match t.durable with None -> f () | Some s -> Lxu_storage.Wal_store.batch s f
+
+let wal_dir t = Option.map Lxu_storage.Wal_store.dir t.durable
+
+let close t =
+  match t.durable with None -> () | Some s -> Lxu_storage.Wal_store.close s
+
+let load ?domains ?(durability = `None) path =
+  let ic = open_in_bin path in
+  let lg =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        (* Re-raise snapshot errors with the offending file: the
+           messages carry the byte offset, this adds which file. *)
+        try Update_log.load ic
+        with Failure msg -> failwith (Printf.sprintf "Lazy_db.load: %s: %s" path msg))
+  in
+  let t = of_log ?domains lg in
+  (match durability with
+  | `None -> ()
+  | `Wal dir ->
+    let s =
+      Lxu_storage.Wal_store.fresh ~dir ~mode:(Update_log.mode lg)
+        ~index_attributes:(Update_log.indexes_attributes lg)
+    in
+    (* The WAL dir starts from this snapshot, not from empty: write
+       the base checkpoint immediately so recovery has it. *)
+    Lxu_storage.Wal_store.checkpoint s lg;
+    t.durable <- Some s);
+  t
+
+let recover ?domains dir =
+  let lg, store, report = Lxu_storage.Wal_store.recover ~dir in
+  let t = of_log ?domains lg in
+  t.durable <- Some store;
+  (t, report)

@@ -37,6 +37,7 @@ val create :
   ?index_attributes:bool ->
   ?pack_threshold:int ->
   ?domains:int ->
+  ?durability:[ `None | `Wal of string ] ->
   unit ->
   t
 (** An empty database; [engine] defaults to [LD].  With
@@ -55,7 +56,19 @@ val create :
     Stack-Tree-Desc baseline works on one global interval list whose
     merge carries stack state across the whole scan, so it stays
     sequential regardless of [domains].
-    @raise Invalid_argument if [pack_threshold < 1] or [domains < 1]. *)
+
+    [durability] (default [`None]) makes every update crash-safe:
+    with [`Wal dir] the database owns directory [dir], appending one
+    checksummed record per {!insert}/{!remove}/{!pack_subtree}/
+    {!rebuild} to a write-ahead log there (see {!Lxu_storage.Wal}),
+    so {!recover} restores the state after a crash.  [`Wal] starts
+    [dir] fresh — use {!recover} to resume an existing one.
+    Auto-packing via [pack_threshold] is {e not} logged: it never
+    changes the document text, and recovery reproduces query-visible
+    state, not internal segmentation chosen by thresholds.
+    @raise Invalid_argument if [pack_threshold < 1], [domains < 1],
+    or [durability] is combined with the [STD] engine (which keeps no
+    reconstructible state). *)
 
 val engine : t -> engine
 
@@ -119,9 +132,54 @@ val save : t -> string -> unit
     @raise Invalid_argument for the [STD] engine, which keeps no
     reconstructible state. *)
 
-val load : ?domains:int -> string -> t
+val load : ?domains:int -> ?durability:[ `None | `Wal of string ] -> string -> t
 (** Restores a database saved with {!save}; queries, updates and local
     labels behave exactly as before the save.  [domains] as in
-    {!create}.
-    @raise Failure on a malformed snapshot.
+    {!create}.  With [~durability:(`Wal dir)] the loaded state
+    immediately becomes the base checkpoint of a fresh WAL directory,
+    and subsequent updates are logged there.
+    @raise Failure on a malformed snapshot; the message includes the
+    file path and byte offset.
     @raise Sys_error if the file cannot be read. *)
+
+(** {2 Durability}
+
+    With [~durability:(`Wal dir)], the database's persistent state is
+    [dir/snapshot] (the last {!checkpoint}, tagged with its LSN) plus
+    [dir/wal] (one checksummed record per update since).  {!recover}
+    reads both, replays the WAL suffix past the snapshot's LSN, and
+    truncates any torn or corrupt tail at the first invalid record —
+    the crash-safety contract exercised by the fault-injection
+    harness in [test/]. *)
+
+val checkpoint : t -> unit
+(** Snapshots the current state into the WAL directory and rotates
+    the log to empty, bounding recovery time.  Crash-safe at every
+    step (temp-file renames; recovery skips already-snapshotted
+    records).
+    @raise Invalid_argument if the database has no WAL. *)
+
+val batch : t -> (unit -> 'a) -> 'a
+(** Group commit: updates performed by [f] are logged but only
+    persisted — as a single device write — when [f] returns.  A crash
+    mid-batch recovers a prefix of the batch.  Without durability,
+    just runs [f].  Not reentrant. *)
+
+val recover : ?domains:int -> string -> t * Lxu_storage.Recovery.report
+(** [recover dir] restores the database whose durability directory is
+    [dir] and reopens its WAL for appending, repairing (truncating) a
+    torn tail in place.  The report says what was replayed, skipped
+    and discarded.
+    @raise Failure when [dir] holds nothing recoverable. *)
+
+val wal_dir : t -> string option
+(** The durability directory, when the database has one. *)
+
+val close : t -> unit
+(** Commits any buffered WAL records and closes the log file.  No-op
+    without durability; idempotent. *)
+
+val of_log : ?domains:int -> Lxu_seglog.Update_log.t -> t
+(** Wraps an existing update log (engine inferred from its mode, no
+    durability) — the hook the recovery test harness uses to query
+    logs it rebuilt by hand. *)

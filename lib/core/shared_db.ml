@@ -10,11 +10,9 @@ type t = {
   mutable writes_done : int;
 }
 
-let create ?(engine = Lazy_db.LD) ?index_attributes () =
-  if engine = Lazy_db.LS then
-    invalid_arg "Shared_db.create: LS queries mutate the log; use LD";
+let wrap db =
   {
-    db = Lazy_db.create ~engine ?index_attributes ();
+    db;
     lock = Mutex.create ();
     can_read = Condition.create ();
     can_write = Condition.create ();
@@ -24,6 +22,11 @@ let create ?(engine = Lazy_db.LD) ?index_attributes () =
     reads_done = 0;
     writes_done = 0;
   }
+
+let create ?(engine = Lazy_db.LD) ?index_attributes ?durability () =
+  if engine = Lazy_db.LS then
+    invalid_arg "Shared_db.create: LS queries mutate the log; use LD";
+  wrap (Lazy_db.create ~engine ?index_attributes ?durability ())
 
 let read t f =
   Mutex.lock t.lock;
@@ -62,8 +65,20 @@ let write t f =
       Mutex.unlock t.lock)
     (fun () -> f t.db)
 
+let recover ?domains dir =
+  let db, report = Lazy_db.recover ?domains dir in
+  if Lazy_db.engine db = Lazy_db.LS then
+    invalid_arg "Shared_db.recover: LS queries mutate the log; use LD";
+  (wrap db, report)
+
 let insert t ~gp text = write t (fun db -> Lazy_db.insert db ~gp text)
 let remove t ~gp ~len = write t (fun db -> Lazy_db.remove db ~gp ~len)
+
+(* WAL appends happen inside Lazy_db's update path, so they are
+   already serialized under the write lock; checkpoint takes the same
+   lock to snapshot a quiescent log. *)
+let checkpoint t = write t Lazy_db.checkpoint
+let close t = write t Lazy_db.close
 let count t ?axis ~anc ~desc () = read t (fun db -> Lazy_db.count db ?axis ~anc ~desc ())
 let path_count t path = read t (fun db -> Path_query.count db path)
 

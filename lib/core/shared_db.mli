@@ -18,8 +18,28 @@
 
 type t
 
-val create : ?engine:Lazy_db.engine -> ?index_attributes:bool -> unit -> t
-(** @raise Invalid_argument for the [LS] engine. *)
+val create :
+  ?engine:Lazy_db.engine ->
+  ?index_attributes:bool ->
+  ?durability:[ `None | `Wal of string ] ->
+  unit ->
+  t
+(** [durability] as in {!Lazy_db.create}: writers append their WAL
+    records under the write lock, so the on-disk log always reflects
+    a serializable update history.
+    @raise Invalid_argument for the [LS] engine. *)
+
+val recover : ?domains:int -> string -> t * Lxu_storage.Recovery.report
+(** Restores a crashed durable database (see {!Lazy_db.recover}) and
+    wraps it for shared access.
+    @raise Invalid_argument if the recovered log is [LS]-mode. *)
+
+val checkpoint : t -> unit
+(** Snapshots and rotates the WAL under the write lock.
+    @raise Invalid_argument if the database has no WAL. *)
+
+val close : t -> unit
+(** Closes the WAL (if any) under the write lock. *)
 
 val insert : t -> gp:int -> string -> unit
 (** Exclusive update. *)

@@ -546,11 +546,26 @@ let full_check = check
 
 let load ic =
   let open Er_node in
-  let fail fmt = Printf.ksprintf failwith fmt in
+  (* Every refusal is a [Failure] naming the byte offset — callers
+     (Lazy_db.load, Recovery.read_snapshot) prepend the file path.
+     Nothing in here may escape as End_of_file or Invalid_argument:
+     a truncated or hostile snapshot must never look like a crash. *)
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg -> failwith (Printf.sprintf "%s (snapshot byte %d)" msg (pos_in ic)))
+      fmt
+  in
   let line () = try input_line ic with End_of_file -> fail "snapshot truncated" in
   let scan fmt k =
     let l = line () in
-    try Scanf.sscanf l fmt k with Scanf.Scan_failure _ | Failure _ -> fail "bad snapshot line: %s" l
+    (* Scanf signals a line that ends mid-format with End_of_file. *)
+    try Scanf.sscanf l fmt k
+    with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "bad snapshot line: %s" l
+  in
+  let input_exactly n what =
+    if n < 0 then fail "negative %s length %d" what n;
+    try really_input_string ic n
+    with End_of_file -> fail "snapshot truncated reading %d-byte %s" n what
   in
   if line () <> snapshot_magic then fail "not a lazy-xml snapshot";
   let mode =
@@ -569,6 +584,7 @@ let load ic =
     if tid <> expected then fail "tag table out of order"
   done;
   let seg_count = scan "segments %d" Fun.id in
+  if seg_count < 0 then fail "negative segment count %d" seg_count;
   let by_sid = Hashtbl.create (seg_count + 1) in
   Hashtbl.add by_sid 0 t.root;
   for _ = 1 to seg_count do
@@ -576,7 +592,8 @@ let load ic =
       scan "seg %d %d %d %d %d %d %d %d %d" (fun a b c d e f g h i ->
           (a, b, c, d, e, f, g, h, i))
     in
-    let text = really_input_string ic orig_len in
+    if n_tomb < 0 || n_elems < 0 then fail "negative record count in segment %d" sid;
+    let text = input_exactly orig_len "segment text" in
     (match input_char ic with
     | '\n' -> ()
     | _ -> fail "missing newline after segment text"

@@ -1,0 +1,11 @@
+(** CRC-32 (IEEE 802.3, polynomial 0xEDB88320) — the per-record
+    checksum of the write-ahead log.  Pure OCaml, table-driven; values
+    are non-negative ints in [0, 2{^32}).  The reference check value
+    is [string "123456789" = 0xCBF43926]. *)
+
+val sub : string -> pos:int -> len:int -> int
+(** Checksum of the byte range [pos, pos+len).
+    @raise Invalid_argument on an out-of-bounds range. *)
+
+val string : string -> int
+(** Checksum of the whole string. *)

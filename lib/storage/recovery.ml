@@ -1,0 +1,130 @@
+open Lxu_seglog
+
+type report = {
+  snapshot_lsn : int;
+  records_total : int;
+  records_applied : int;
+  records_skipped : int;
+  valid_bytes : int;
+  total_bytes : int;
+  corruption : string option;
+  last_lsn : int;
+}
+
+(* --- checkpoint snapshots -------------------------------------------- *)
+
+let snapshot_magic = "LXUCKPT1"
+
+let write_snapshot ~path ~lsn log =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     Printf.fprintf oc "%s lsn %d\n" snapshot_magic lsn;
+     Update_log.save log oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let read_snapshot ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let fail msg = failwith (Printf.sprintf "%s: %s (at byte %d)" path msg (pos_in ic)) in
+      let first = try input_line ic with End_of_file -> fail "truncated checkpoint header" in
+      let lsn =
+        try Scanf.sscanf first "LXUCKPT1 lsn %d%!" Fun.id
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> fail "not a lazyxml checkpoint"
+      in
+      if lsn < 0 then fail "negative checkpoint lsn";
+      (* Update_log.load's messages already carry the byte offset. *)
+      let log =
+        try Update_log.load ic
+        with Failure msg -> failwith (Printf.sprintf "%s: %s" path msg)
+      in
+      (lsn, log))
+
+(* --- replay ----------------------------------------------------------- *)
+
+let replay log (op : Wal.op) =
+  match op with
+  | Wal.Insert { gp; text } ->
+    ignore (Update_log.insert log ~gp text);
+    log
+  | Wal.Remove { gp; len } ->
+    Update_log.remove log ~gp ~len;
+    log
+  | Wal.Pack { gp; len } ->
+    (* Mirrors Lazy_db.pack_subtree: re-index the byte range as one
+       segment. *)
+    let whole = Update_log.materialize log in
+    if gp < 0 || len <= 0 || gp + len > String.length whole then
+      invalid_arg "Recovery.replay: pack range out of bounds";
+    let slice = String.sub whole gp len in
+    Update_log.remove log ~gp ~len;
+    ignore (Update_log.insert log ~gp slice);
+    log
+  | Wal.Rebuild ->
+    let whole = Update_log.materialize log in
+    let fresh =
+      Update_log.create ~mode:(Update_log.mode log)
+        ~index_attributes:(Update_log.indexes_attributes log) ()
+    in
+    if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
+    fresh
+
+let recover_bytes ?path ?base wal_bytes =
+  let scan = Wal.scan ?path wal_bytes in
+  let snapshot_lsn, log0 =
+    match base with
+    | Some (lsn, log) -> (lsn, log)
+    | None ->
+      ( 0,
+        Update_log.create ~mode:scan.Wal.header.Wal.mode
+          ~index_attributes:scan.Wal.header.Wal.index_attributes () )
+  in
+  let log = ref log0 in
+  let applied = ref 0 and skipped = ref 0 in
+  let valid = ref scan.Wal.valid_bytes and note = ref scan.Wal.corruption in
+  let last_lsn = ref snapshot_lsn in
+  (* End offset of the last record kept; replay failure truncates to it. *)
+  let prev_end = ref Wal.header_bytes in
+  (try
+     List.iter
+       (fun (r : Wal.record) ->
+         if r.Wal.lsn <= snapshot_lsn then begin
+           incr skipped;
+           prev_end := r.Wal.end_off
+         end
+         else begin
+           match replay !log r.Wal.op with
+           | l ->
+             log := l;
+             incr applied;
+             last_lsn := r.Wal.lsn;
+             prev_end := r.Wal.end_off
+           | exception e ->
+             (* A record that passes the checksum but cannot replay is
+                corruption all the same: keep everything before it. *)
+             note :=
+               Some
+                 (Printf.sprintf "replay of lsn %d failed: %s" r.Wal.lsn (Printexc.to_string e));
+             valid := !prev_end;
+             raise Exit
+         end)
+       scan.Wal.records
+   with Exit -> ());
+  ( !log,
+    {
+      snapshot_lsn;
+      records_total = List.length scan.Wal.records;
+      records_applied = !applied;
+      records_skipped = !skipped;
+      valid_bytes = !valid;
+      total_bytes = scan.Wal.total_bytes;
+      corruption = !note;
+      last_lsn = !last_lsn;
+    } )

@@ -1,0 +1,54 @@
+(** Crash recovery: rebuild an update log from [snapshot + WAL
+    suffix].
+
+    The snapshot (a checkpoint) carries the LSN it was taken at;
+    replay applies only WAL records {e past} that LSN and stops —
+    without failing — at the first record the {!Wal.scan} validator or
+    the replay itself rejects, so a torn or corrupt tail costs exactly
+    the operations it contained and nothing before them.  Every error
+    message names the file (when known) and the byte offset. *)
+
+type report = {
+  snapshot_lsn : int;  (** 0 when recovering without a snapshot *)
+  records_total : int;  (** valid records seen in the WAL *)
+  records_applied : int;
+  records_skipped : int;  (** LSN at or below the snapshot's *)
+  valid_bytes : int;  (** WAL prefix worth keeping, header included *)
+  total_bytes : int;  (** WAL bytes on disk before repair *)
+  corruption : string option;  (** why replay stopped early, if it did *)
+  last_lsn : int;  (** state LSN after recovery; next record is [last_lsn + 1] *)
+}
+
+(** {1 Checkpoint snapshots} *)
+
+val write_snapshot : path:string -> lsn:int -> Lxu_seglog.Update_log.t -> unit
+(** Writes ["LXUCKPT1 lsn <n>"] followed by the
+    {!Lxu_seglog.Update_log.save} payload, via a temp file renamed
+    into place so a crash mid-write never damages the previous
+    snapshot. *)
+
+val read_snapshot : path:string -> int * Lxu_seglog.Update_log.t
+(** @raise Failure on a malformed snapshot; the message includes
+    [path] and the byte offset. *)
+
+(** {1 Replay} *)
+
+val replay : Lxu_seglog.Update_log.t -> Wal.op -> Lxu_seglog.Update_log.t
+(** Applies one logged operation.  Returns the log to use from now on
+    — [Rebuild] replaces it with a freshly indexed one, mirroring
+    {!Lazy_db.rebuild}.
+    @raise Invalid_argument or [Parse_error] on a semantically
+    impossible record (which {!recover_bytes} treats as corruption). *)
+
+val recover_bytes :
+  ?path:string ->
+  ?base:int * Lxu_seglog.Update_log.t ->
+  string ->
+  Lxu_seglog.Update_log.t * report
+(** [recover_bytes wal_bytes] scans and replays captured WAL bytes in
+    memory.  [base] is the checkpoint state [(lsn, log)] to start
+    from; without it replay starts from an empty log configured by
+    the WAL header.  The [base] log is mutated in place (pass a
+    private copy).
+    @raise Failure only on an unreadable WAL header (see
+    {!Wal.scan}). *)

@@ -1,0 +1,110 @@
+type fault =
+  | Truncate_tail of int
+  | Bit_flip of int
+  | Duplicate_tail of int
+
+type backing =
+  | Memory of Buffer.t
+  | File of { path : string; mutable oc : out_channel; mutable closed : bool }
+
+type t = {
+  backing : backing;
+  faults : (int, fault) Hashtbl.t;
+  mutable nwrites : int;
+}
+
+let in_memory () = { backing = Memory (Buffer.create 256); faults = Hashtbl.create 4; nwrites = 0 }
+
+let open_path ?(append = false) path =
+  let flags =
+    [ Open_wronly; Open_creat; Open_binary ] @ if append then [ Open_append ] else [ Open_trunc ]
+  in
+  let oc = open_out_gen flags 0o644 path in
+  { backing = File { path; oc; closed = false }; faults = Hashtbl.create 4; nwrites = 0 }
+
+let inject t ~nth_write fault = Hashtbl.replace t.faults nth_write fault
+
+let apply_fault data = function
+  | Truncate_tail n ->
+    let keep = max 0 (String.length data - max 0 n) in
+    String.sub data 0 keep
+  | Duplicate_tail n ->
+    let n = min (max 0 n) (String.length data) in
+    data ^ String.sub data (String.length data - n) n
+  | Bit_flip bit ->
+    if String.length data = 0 then data
+    else begin
+      let bit = max 0 (min bit ((String.length data * 8) - 1)) in
+      let b = Bytes.of_string data in
+      let i = bit / 8 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (0x80 lsr (bit mod 8))));
+      Bytes.to_string b
+    end
+
+let random_fault rng ~len =
+  let len = max 1 len in
+  match Lxu_workload.Rng.int rng 3 with
+  | 0 -> Truncate_tail (1 + Lxu_workload.Rng.int rng len)
+  | 1 -> Bit_flip (Lxu_workload.Rng.int rng (len * 8))
+  | _ -> Duplicate_tail (1 + Lxu_workload.Rng.int rng len)
+
+let write t data =
+  let data =
+    match Hashtbl.find_opt t.faults t.nwrites with
+    | Some f -> apply_fault data f
+    | None -> data
+  in
+  t.nwrites <- t.nwrites + 1;
+  match t.backing with
+  | Memory buf -> Buffer.add_string buf data
+  | File f ->
+    if f.closed then invalid_arg "Sim_file.write: device is closed";
+    output_string f.oc data
+
+let writes t = t.nwrites
+
+let flush t = match t.backing with Memory _ -> () | File f -> if not f.closed then flush f.oc
+
+let sync t =
+  flush t;
+  match t.backing with
+  | Memory _ -> ()
+  | File f -> if not f.closed then Unix.fsync (Unix.descr_of_out_channel f.oc)
+
+let size t =
+  flush t;
+  match t.backing with
+  | Memory buf -> Buffer.length buf
+  | File f -> (Unix.stat f.path).Unix.st_size
+
+let contents t =
+  flush t;
+  match t.backing with
+  | Memory buf -> Buffer.contents buf
+  | File f ->
+    let ic = open_in_bin f.path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+
+let truncate_to t n =
+  flush t;
+  match t.backing with
+  | Memory buf ->
+    let keep = String.sub (Buffer.contents buf) 0 (min n (Buffer.length buf)) in
+    Buffer.clear buf;
+    Buffer.add_string buf keep
+  | File f ->
+    if not f.closed then close_out f.oc;
+    Unix.truncate f.path (min n (Unix.stat f.path).Unix.st_size);
+    f.oc <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 f.path;
+    f.closed <- false
+
+let close t =
+  match t.backing with
+  | Memory _ -> ()
+  | File f ->
+    if not f.closed then begin
+      close_out f.oc;
+      f.closed <- true
+    end

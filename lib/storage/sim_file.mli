@@ -1,0 +1,68 @@
+(** Fault-injectable append-only file — the I/O layer under the
+    write-ahead log.
+
+    Every byte the WAL persists goes through {!write}, so a scheduled
+    fault deterministically corrupts exactly one write the way a
+    crashing kernel or disk would: tearing it short, flipping a bit,
+    or duplicating its tail (a re-issued write after a lost ack).
+    Backed either by a real file or by an in-memory buffer (the crash
+    harness runs thousands of recoveries; memory keeps that cheap).
+
+    Faults are deterministic: the harness derives them from
+    {!Lxu_workload.Rng}, so every failing schedule replays exactly. *)
+
+type t
+
+type fault =
+  | Truncate_tail of int  (** drop the last [n] bytes of the write *)
+  | Bit_flip of int  (** flip bit [i] of the write, 0 = MSB-side of byte 0 *)
+  | Duplicate_tail of int  (** re-append the last [n] bytes of the write *)
+
+val in_memory : unit -> t
+(** A buffer-backed device; {!sync} is a no-op. *)
+
+val open_path : ?append:bool -> string -> t
+(** A file-backed device, created/truncated unless [append] (default
+    false), which keeps existing contents and writes at the end.
+    @raise Sys_error if the file cannot be opened. *)
+
+val inject : t -> nth_write:int -> fault -> unit
+(** Schedules [fault] for write number [nth_write] (0-based, counting
+    every {!write} since the device was opened).  At most one fault
+    per write; the last injection wins. *)
+
+val apply_fault : string -> fault -> string
+(** What a faulty write persists instead of [data] — the pure
+    corruption function, also usable directly on captured WAL bytes.
+    Out-of-range faults clamp to the data (an empty write stays
+    empty). *)
+
+val random_fault : Lxu_workload.Rng.t -> len:int -> fault
+(** A uniformly chosen fault scaled to a write of [len] bytes —
+    deterministic in the generator state, so crash schedules replay
+    exactly. *)
+
+val write : t -> string -> unit
+(** Appends [data], after applying any fault scheduled for this write
+    index. *)
+
+val writes : t -> int
+(** Writes issued so far. *)
+
+val flush : t -> unit
+
+val sync : t -> unit
+(** [flush] plus [fsync] for file-backed devices; no-op in memory. *)
+
+val size : t -> int
+(** Bytes currently stored (faults included). *)
+
+val contents : t -> string
+(** The full stored bytes (flushes first). *)
+
+val truncate_to : t -> int -> unit
+(** Discards everything past byte [n] — how recovery repairs a torn
+    tail in place. *)
+
+val close : t -> unit
+(** Flushes and closes; idempotent. *)

@@ -1,0 +1,148 @@
+open Lxu_seglog
+
+type t = {
+  dir : string;
+  mutable wal : Wal.t;
+  mutable batching : bool;
+  mutable closed : bool;
+}
+
+let wal_path dir = Filename.concat dir "wal"
+let snapshot_path dir = Filename.concat dir "snapshot"
+let dir t = t.dir
+let next_lsn t = Wal.next_lsn t.wal
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  make dir
+
+let fresh ~dir ~mode ~index_attributes =
+  mkdir_p dir;
+  let snap = snapshot_path dir in
+  if Sys.file_exists snap then Sys.remove snap;
+  let device = Sim_file.open_path (wal_path dir) in
+  let wal = Wal.create ~device { Wal.mode; index_attributes } in
+  Sim_file.flush device;
+  { dir; wal; batching = false; closed = false }
+
+let check_open t op = if t.closed then invalid_arg ("Wal_store." ^ op ^ ": store is closed")
+
+let commit ?sync t =
+  check_open t "commit";
+  Wal.commit ?sync t.wal
+
+let log_op t op =
+  check_open t "log_op";
+  ignore (Wal.append t.wal op);
+  if not t.batching then Wal.commit t.wal
+
+let batch t f =
+  check_open t "batch";
+  if t.batching then invalid_arg "Wal_store.batch: already inside a batch";
+  t.batching <- true;
+  Fun.protect
+    ~finally:(fun () ->
+      t.batching <- false;
+      Wal.commit t.wal)
+    f
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Rotate the WAL: a fresh header-only file built beside the live one
+   and renamed over it, so a crash leaves either the old complete WAL
+   or the new empty one — never a half-written header. *)
+let rotate_wal t ~mode ~index_attributes ~next_lsn =
+  let path = wal_path t.dir in
+  let tmp = path ^ ".tmp" in
+  let old_device = Wal.device t.wal in
+  let device = Sim_file.open_path tmp in
+  let wal = Wal.create ~next_lsn ~device { Wal.mode; index_attributes } in
+  Sim_file.sync device;
+  Sys.rename tmp path;
+  Sim_file.close old_device;
+  t.wal <- wal
+
+let checkpoint t log =
+  check_open t "checkpoint";
+  if t.batching then invalid_arg "Wal_store.checkpoint: inside a batch";
+  Wal.commit t.wal;
+  let lsn = Wal.next_lsn t.wal - 1 in
+  Recovery.write_snapshot ~path:(snapshot_path t.dir) ~lsn log;
+  rotate_wal t ~mode:(Update_log.mode log) ~index_attributes:(Update_log.indexes_attributes log)
+    ~next_lsn:(lsn + 1)
+
+let recover ~dir =
+  let snap_path = snapshot_path dir in
+  let wpath = wal_path dir in
+  let base = if Sys.file_exists snap_path then Some (Recovery.read_snapshot ~path:snap_path) else None in
+  let wal_bytes = if Sys.file_exists wpath then Some (read_file wpath) else None in
+  let log, report =
+    match (base, wal_bytes) with
+    | None, None -> failwith (Printf.sprintf "%s: nothing to recover (no snapshot, no wal)" dir)
+    | base, Some bytes -> (
+      (* Replay mutates the base log in place; recovery owns it. *)
+      try Recovery.recover_bytes ~path:wpath ?base bytes
+      with Failure msg -> (
+        (* Unreadable WAL header.  With a snapshot the state is still
+           well-defined: everything up to the checkpoint. *)
+        match base with
+        | None -> failwith msg
+        | Some (lsn, log) ->
+          ( log,
+            {
+              Recovery.snapshot_lsn = lsn;
+              records_total = 0;
+              records_applied = 0;
+              records_skipped = 0;
+              valid_bytes = 0;
+              total_bytes = String.length bytes;
+              corruption = Some msg;
+              last_lsn = lsn;
+            } )))
+    | Some (lsn, log), None ->
+      ( log,
+        {
+          Recovery.snapshot_lsn = lsn;
+          records_total = 0;
+          records_applied = 0;
+          records_skipped = 0;
+          valid_bytes = 0;
+          total_bytes = 0;
+          corruption = None;
+          last_lsn = lsn;
+        } )
+  in
+  let next_lsn = report.Recovery.last_lsn + 1 in
+  let t = { dir; wal = Wal.attach ~device:(Sim_file.in_memory ()) ~next_lsn; batching = false; closed = false } in
+  let mode = Update_log.mode log and index_attributes = Update_log.indexes_attributes log in
+  (if report.Recovery.valid_bytes = 0 then
+     (* Missing or headerless WAL: start a clean one. *)
+     let device = Sim_file.open_path wpath in
+     t.wal <- Wal.create ~next_lsn ~device { Wal.mode; index_attributes }
+   else begin
+     if report.Recovery.valid_bytes < report.Recovery.total_bytes then begin
+       (* Repair the torn/corrupt tail so future appends extend a
+          fully valid log. *)
+       let d = Sim_file.open_path ~append:true wpath in
+       Sim_file.truncate_to d report.Recovery.valid_bytes;
+       Sim_file.close d
+     end;
+     t.wal <- Wal.attach ~device:(Sim_file.open_path ~append:true wpath) ~next_lsn
+   end);
+  (log, t, report)
+
+let close t =
+  if not t.closed then begin
+    Wal.commit t.wal;
+    Sim_file.close (Wal.device t.wal);
+    t.closed <- true
+  end

@@ -1,0 +1,51 @@
+(** A durable home for one database: a directory holding [snapshot]
+    (the last checkpoint, with its LSN) and [wal] (the redo log of
+    everything since).
+
+    Lifecycle: {!fresh} initialises the directory for a new database;
+    {!log_op}/{!commit} (or {!batch} for group commit) persist each
+    update; {!checkpoint} snapshots the current log and rotates the
+    WAL; {!recover} rebuilds the state after a crash, truncating any
+    torn or corrupt WAL tail in place so the next writer appends to a
+    clean log. *)
+
+type t
+
+val wal_path : string -> string
+val snapshot_path : string -> string
+
+val dir : t -> string
+val next_lsn : t -> int
+
+val fresh :
+  dir:string -> mode:Lxu_seglog.Update_log.mode -> index_attributes:bool -> t
+(** Creates [dir] if needed, removes any previous snapshot, and
+    starts an empty WAL.  Existing contents are discarded: this is
+    for {e new} databases; use {!recover} to resume one. *)
+
+val log_op : t -> Wal.op -> unit
+(** Appends one record and commits it — unless inside {!batch}, where
+    records accumulate in the group-commit buffer. *)
+
+val commit : ?sync:bool -> t -> unit
+
+val batch : t -> (unit -> 'a) -> 'a
+(** Runs [f] with auto-commit off, then commits every record it
+    logged with one device write.  On an exception the records logged
+    so far are still committed (they describe updates that did
+    happen).  Not reentrant. *)
+
+val checkpoint : t -> Lxu_seglog.Update_log.t -> unit
+(** Writes a snapshot at the current LSN (temp file + rename), then
+    rotates the WAL to empty.  A crash between the two steps is safe:
+    recovery skips replayed records at or below the snapshot LSN. *)
+
+val recover : dir:string -> Lxu_seglog.Update_log.t * t * Recovery.report
+(** Restores [snapshot + WAL suffix].  A corrupt tail is truncated
+    from the WAL file; if the WAL header itself is unreadable but a
+    snapshot exists, the snapshot wins and the WAL is re-initialised.
+    @raise Failure when nothing recoverable exists (no snapshot and
+    no readable WAL header); messages include the path. *)
+
+val close : t -> unit
+(** Commits buffered records and closes the device; idempotent. *)

@@ -1,0 +1,41 @@
+(** The crash–recover differential harness.
+
+    A workload is a random schedule of valid update operations
+    (inserts of well-formed fragments at legal split points, removes
+    and packs of whole elements, occasional rebuilds), deterministic
+    in its seed.  {!run_one} applies it to a durable database, then
+    simulates a crash at {e every} WAL record boundary: each prefix
+    is recovered and its query-visible state (document text, element
+    and segment counts, and the full all-pairs output of every
+    vocabulary join) must be byte-identical to a never-crashed
+    reference database that applied the same operation prefix.  On
+    top of the boundary sweep it injects torn, bit-flipped and
+    duplicated tails and checks recovery lands exactly on the last
+    valid LSN instead of erroring out.
+
+    Failures raise [Failure] with the seed and boundary, so any
+    reported schedule replays exactly. *)
+
+val vocabulary : string array
+(** Element tags the generated fragments draw from. *)
+
+val gen_ops : seed:int -> target_ops:int -> Lxu_storage.Wal.op list
+(** A valid random schedule of about [target_ops] operations. *)
+
+val apply : Lazy_xml.Lazy_db.t -> Lxu_storage.Wal.op -> unit
+
+val fingerprint : Lazy_xml.Lazy_db.t -> string
+(** Text, element/segment counts, and all-pairs join output over the
+    vocabulary (both axes) — equality means query-indistinguishable. *)
+
+val run_one : ?checkpoint_at:int -> seed:int -> target_ops:int -> unit -> int
+(** One workload: boundary sweep plus fault injection; with
+    [checkpoint_at = k] the database checkpoints after operation [k]
+    and every recovery goes through [snapshot + WAL suffix] on disk.
+    Returns the number of recoveries performed.
+    @raise Failure on any divergence. *)
+
+val run_matrix : seeds:int list -> target_ops:int -> unit
+(** {!run_one} for every seed (every third one checkpointing
+    mid-workload), printing one progress line per seed.
+    @raise Failure on the first diverging seed. *)

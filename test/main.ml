@@ -20,4 +20,6 @@ let () =
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);
       ("parallel_join", Test_parallel_join.suite);
+      ("storage", Test_storage.suite);
+      ("recovery", Test_recovery.suite);
     ]

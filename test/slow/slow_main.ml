@@ -1,0 +1,22 @@
+(* The full crash-recovery acceptance matrix: >= 30 randomized
+   workloads, each crashed at every WAL record boundary and under
+   injected torn / bit-flipped / duplicated tails.  Quick versions of
+   the same sweep run under the default test alias (test_recovery.ml);
+   this one is the slow tier:
+
+     dune build @slow
+
+   LXU_CRASH_SEEDS / LXU_CRASH_OPS override the matrix size. *)
+
+let int_env name default =
+  match Sys.getenv_opt name with
+  | Some s -> (try int_of_string (String.trim s) with _ -> default)
+  | None -> default
+
+let () =
+  let seeds = int_env "LXU_CRASH_SEEDS" 48 in
+  let target_ops = int_env "LXU_CRASH_OPS" 48 in
+  Printf.printf "crash matrix: %d workloads x ~%d ops, every record boundary + 3 faults each\n%!"
+    seeds target_ops;
+  Lxu_crash_harness.Crash_harness.run_matrix ~seeds:(List.init seeds (fun i -> i + 1)) ~target_ops;
+  Printf.printf "crash matrix: all %d workloads recovered byte-identically\n%!" seeds

@@ -81,10 +81,85 @@ let test_concurrent_mixed_updates () =
   Shared_db.read t Lazy_db.check;
   check_int "x survived" 40 (Shared_db.count t ~anc:"r" ~desc:"x" ())
 
+let test_interleaving_never_torn () =
+  (* Each write transaction inserts three <b/> at once, and readers —
+     with LXU_DOMAINS=4 so queries themselves fan out over domains —
+     must only ever observe multiples of three: a count that is not
+     [= 0 mod 3] would mean a read interleaved inside a write. *)
+  let saved = Sys.getenv_opt "LXU_DOMAINS" in
+  Unix.putenv "LXU_DOMAINS" "4";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv "LXU_DOMAINS" (Option.value saved ~default:""))
+    (fun () ->
+      let t = Shared_db.create () in
+      Shared_db.insert t ~gp:0 "<a></a>";
+      let txns = 50 in
+      let writer =
+        Domain.spawn (fun () ->
+            for _ = 1 to txns do
+              Shared_db.write t (fun db ->
+                  Lazy_db.insert db ~gp:3 "<b/>";
+                  Lazy_db.insert db ~gp:3 "<b/>";
+                  Lazy_db.insert db ~gp:3 "<b/>")
+            done)
+      in
+      let reader () =
+        Domain.spawn (fun () ->
+            let ok = ref true in
+            let last = ref 0 in
+            for _ = 1 to 150 do
+              let c = Shared_db.count t ~anc:"a" ~desc:"b" () in
+              if c mod 3 <> 0 || c < !last || c > 3 * txns then ok := false;
+              last := c
+            done;
+            !ok)
+      in
+      let readers = List.init 3 (fun _ -> reader ()) in
+      Domain.join writer;
+      List.iter (fun d -> check_bool "only pre/post-txn counts" true (Domain.join d)) readers;
+      check_int "final count" (3 * txns) (Shared_db.count t ~anc:"a" ~desc:"b" ());
+      Shared_db.read t Lazy_db.check)
+
+let test_durable_writers () =
+  (* Racing durable writers: the WAL serializes under the write lock,
+     so recovery reproduces exactly the final state. *)
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lazyxml_test_shared_wal_%d" (Unix.getpid ()))
+  in
+  let rm_rf dir =
+    if Sys.file_exists dir then begin
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir
+    end
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let t = Shared_db.create ~durability:(`Wal dir) () in
+      Shared_db.insert t ~gp:0 "<r></r>";
+      let writers =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 25 do
+                  Shared_db.insert t ~gp:3 "<x/>"
+                done))
+      in
+      List.iter Domain.join writers;
+      let final = Shared_db.read t Lazy_db.text in
+      Shared_db.close t;
+      let t', report = Shared_db.recover dir in
+      check_bool "clean wal" true (report.Lxu_storage.Recovery.corruption = None);
+      Alcotest.(check string) "recovered text" final (Shared_db.read t' Lazy_db.text);
+      check_int "recovered count" 50 (Shared_db.count t' ~anc:"r" ~desc:"x" ());
+      Shared_db.close t')
+
 let suite =
   [
     Alcotest.test_case "sequential semantics" `Quick test_sequential_semantics;
     Alcotest.test_case "ls rejected" `Quick test_ls_rejected;
     Alcotest.test_case "readers race writer" `Quick test_concurrent_readers_and_writer;
     Alcotest.test_case "mixed updates" `Quick test_concurrent_mixed_updates;
+    Alcotest.test_case "write txns never torn" `Quick test_interleaving_never_torn;
+    Alcotest.test_case "durable writers recover" `Quick test_durable_writers;
   ]

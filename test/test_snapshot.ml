@@ -100,6 +100,52 @@ let test_malformed_snapshot () =
     (match Lazy_db.load path with exception Failure _ -> true | _ -> false);
   Sys.remove path
 
+(* Every way a snapshot file can be damaged must surface as [Failure]
+   (with the path and byte offset) — never a crash with some other
+   exception, and never a silently wrong database. *)
+let test_malformed_snapshot_sweep () =
+  let db = build_sample () in
+  let reference = Lazy_db.text db in
+  let path = tmp "sweep" in
+  Lazy_db.save db path;
+  let ic = open_in_bin path in
+  let bytes = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let write s =
+    let oc = open_out_bin path in
+    output_string oc s;
+    close_out oc
+  in
+  let attempt ~what s =
+    write s;
+    match Lazy_db.load path with
+    | exception Failure msg ->
+      let contains ~needle hay =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      check_bool
+        (Printf.sprintf "%s: %S names the file" what msg)
+        true
+        (contains ~needle:path msg)
+    | exception e ->
+      Alcotest.failf "%s: raised %s, not Failure" what (Printexc.to_string e)
+    | db' ->
+      (* Accepting damaged input is only allowed if the damage was
+         invisible (e.g. a cut inside trailing padding). *)
+      check_string (what ^ ": loaded state intact") reference (Lazy_db.text db')
+  in
+  (* Truncations: every strict prefix, including mid-header and
+     mid-segment-body cuts. *)
+  for len = 0 to String.length bytes - 1 do
+    attempt ~what:(Printf.sprintf "prefix %d" len) (String.sub bytes 0 len)
+  done;
+  (* Bad magic / corrupted header line. *)
+  attempt ~what:"bad magic" ("X" ^ String.sub bytes 1 (String.length bytes - 1));
+  attempt ~what:"garbage header" "LXUSNAP1 garbage\n";
+  Sys.remove path
+
 let test_empty_db_roundtrip () =
   let db = Lazy_db.create () in
   let path = tmp "empty" in
@@ -118,6 +164,7 @@ let suite =
     Alcotest.test_case "LS mode roundtrip" `Quick test_ls_mode_roundtrip;
     Alcotest.test_case "std cannot save" `Quick test_std_cannot_save;
     Alcotest.test_case "malformed rejected" `Quick test_malformed_snapshot;
+    Alcotest.test_case "malformed sweep" `Quick test_malformed_snapshot_sweep;
     Alcotest.test_case "empty roundtrip" `Quick test_empty_db_roundtrip;
   ]
 
@@ -161,4 +208,28 @@ let prop_snapshot_roundtrip =
              Lazy_db.count db ~anc ~desc () = Lazy_db.count db' ~anc ~desc ())
            [ ("c", "a"); ("c", "b"); ("d", "b"); ("d", "@k") ])
 
-let suite = suite @ [ QCheck_alcotest.to_alcotest prop_snapshot_roundtrip ]
+(* The stronger roundtrip property: schedules with removes, packs and
+   rebuilds, and equality over the {e full} all-pairs join output of
+   the vocabulary (via the crash harness fingerprint), not just a few
+   counts. *)
+let prop_roundtrip_all_pairs =
+  let module H = Lxu_crash_harness.Crash_harness in
+  let gen = QCheck2.Gen.(pair (int_bound 1_000_000) (int_range 1 20)) in
+  QCheck2.Test.make ~name:"save/load preserves all-pairs join output" ~count:30 gen
+    (fun (seed, target_ops) ->
+      let db = Lazy_db.create ~index_attributes:true () in
+      List.iter (H.apply db) (H.gen_ops ~seed ~target_ops);
+      let path = tmp "prop_all_pairs" in
+      Lazy_db.save db path;
+      let db' = Lazy_db.load path in
+      Sys.remove path;
+      Lazy_db.check db';
+      Lazy_db.element_count db = Lazy_db.element_count db'
+      && H.fingerprint db = H.fingerprint db')
+
+let suite =
+  suite
+  @ [
+      QCheck_alcotest.to_alcotest prop_snapshot_roundtrip;
+      QCheck_alcotest.to_alcotest prop_roundtrip_all_pairs;
+    ]
