@@ -8,8 +8,9 @@
      dune exec bench/main.exe -- fig12 fig16
 
    Available targets: fig11a fig11b fig12 fig13 fig14 fig15 fig16
-   fig17a fig17b fig17c joins labels boxes micro parallel recovery.
-   (fig14 and fig15 share one workload and always run together.)
+   fig17a fig17b fig17c joins labels boxes micro parallel recovery
+   overload.  (fig14 and fig15 share one workload and always run
+   together.)
 
    Set LAZYXML_BENCH_SCALE=k to multiply the key dataset sizes of
    figs 12-16 by k (paper-scale runs take minutes).
@@ -37,6 +38,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("micro", "micro", Micro.run);
     ("parallel", "parallel", Fig_parallel.run);
     ("recovery", "recovery", Fig_recovery.run);
+    ("overload", "overload", Fig_overload.run);
   ]
 
 (* Strips [--json <path>] (shared by all JSON-emitting figures) from

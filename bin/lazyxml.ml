@@ -65,6 +65,26 @@ let shape_arg =
   Arg.(value & opt string "balanced" & info [ "shape" ] ~docv:"SHAPE"
          ~doc:"Chopping shape: balanced or nested.")
 
+let deadline_arg =
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
+         ~doc:"Abandon the evaluation after $(docv) milliseconds; exits with \
+               status 124 when the deadline trips.")
+
+(* Runs [f] under an optional deadline guard (cooperatively checked by
+   the join loops): a trip prints the timeout and exits like
+   timeout(1) does. *)
+let with_deadline deadline_ms f =
+  let guard =
+    Option.map
+      (fun ms -> Lxu_util.Deadline.guard ~deadline:(Lxu_util.Deadline.after (ms /. 1000.)) ())
+      deadline_ms
+    |> Option.join
+  in
+  try f guard
+  with Lxu_util.Deadline.Cancel.Cancelled _ ->
+    Printf.eprintf "timed out after %.1f ms\n" (Option.get deadline_ms);
+    exit 124
+
 (* --- query ------------------------------------------------------------ *)
 
 let query_cmd =
@@ -73,14 +93,16 @@ let query_cmd =
   let child = Arg.(value & flag & info [ "child" ] ~doc:"Parent/child axis instead of ancestor//descendant.") in
   let show = Arg.(value & flag & info [ "pairs" ] ~doc:"Print every result pair.") in
   let attrs = Arg.(value & flag & info [ "attributes" ] ~doc:"Index attributes as @name subelements.") in
-  let run doc engine segments shape anc desc child show attrs =
+  let run doc engine segments shape anc desc child show attrs deadline_ms =
     let db, _ =
       load ~engine:(engine_of_string engine) ~index_attributes:attrs ~segments
         ~shape:(shape_of_string shape) doc
     in
     let axis = if child then Lazy_db.Child else Lazy_db.Descendant in
     let t0 = Unix.gettimeofday () in
-    let pairs, stats = Lazy_db.query db ~axis ~anc ~desc () in
+    let pairs, stats =
+      with_deadline deadline_ms (fun guard -> Lazy_db.query db ~axis ?guard ~anc ~desc ())
+    in
     let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
     Printf.printf "%s%s%s: %d pairs in %.2f ms (%d cross-segment, %d in-segment, %d segments skipped)\n"
       anc (if child then "/" else "//") desc stats.Lazy_db.pair_count ms
@@ -88,7 +110,7 @@ let query_cmd =
     if show then List.iter (fun (a, d) -> Printf.printf "  %d -> %d\n" a d) pairs
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a structural join over a document.")
-    Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ anc $ desc $ child $ show $ attrs)
+    Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ anc $ desc $ child $ show $ attrs $ deadline_arg)
 
 (* --- stats ------------------------------------------------------------- *)
 
@@ -179,7 +201,7 @@ let path_cmd =
                     ~doc:"Path expression, e.g. //person/profile//interest or //person/@id.") in
   let attrs = Arg.(value & flag & info [ "attributes" ] ~doc:"Index attributes as @name subelements.") in
   let holistic = Arg.(value & flag & info [ "holistic" ] ~doc:"Use the PathStack strategy.") in
-  let run doc engine segments shape expr attrs holistic =
+  let run doc engine segments shape expr attrs holistic deadline_ms =
     let text = read_file doc in
     let db = Lazy_db.create ~engine:(engine_of_string engine) ~index_attributes:attrs () in
     if segments <= 1 then Lazy_db.insert db ~gp:0 text
@@ -189,7 +211,9 @@ let path_cmd =
         (Lxu_workload.Chopper.chop ~text ~segments (shape_of_string shape));
     let strategy = if holistic then Path_query.Holistic else Path_query.Pairwise in
     let t0 = Unix.gettimeofday () in
-    let matches = Path_query.eval_string ~strategy db expr in
+    let matches =
+      with_deadline deadline_ms (fun guard -> Path_query.eval_string ~strategy ?guard db expr)
+    in
     let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
     Printf.printf "%s: %d matches in %.2f ms
 " expr (List.length matches) ms;
@@ -197,7 +221,7 @@ let path_cmd =
 " s e) matches
   in
   Cmd.v (Cmd.info "path" ~doc:"Evaluate a path expression over a document.")
-    Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ expr $ attrs $ holistic)
+    Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ expr $ attrs $ holistic $ deadline_arg)
 
 (* --- snapshots -------------------------------------------------------------- *)
 

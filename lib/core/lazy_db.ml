@@ -124,11 +124,11 @@ let element_count t =
 let segment_count t =
   match t.backend with Log log -> Update_log.segment_count log | Store _ -> 0
 
-let query t ?(axis = Descendant) ~anc ~desc () =
+let query t ?(axis = Descendant) ?guard ~anc ~desc () =
   match t.backend with
   | Log log ->
     let jaxis = match axis with Descendant -> Lxu_join.Lazy_join.Descendant | Child -> Lxu_join.Lazy_join.Child in
-    let pairs, stats = Lxu_join.Lazy_join.run ~axis:jaxis ?pool:(pool_of t) log ~anc ~desc () in
+    let pairs, stats = Lxu_join.Lazy_join.run ~axis:jaxis ?pool:(pool_of t) ?guard log ~anc ~desc () in
     let global = Lxu_join.Lazy_join.global_pairs log pairs in
     ( global,
       {
@@ -140,6 +140,7 @@ let query t ?(axis = Descendant) ~anc ~desc () =
       } )
   | Store store ->
     let jaxis = match axis with Descendant -> Lxu_join.Stack_tree_desc.Descendant | Child -> Lxu_join.Stack_tree_desc.Child in
+    Lxu_util.Deadline.check_opt guard;
     let a = Interval_store.elements store ~tag:anc in
     let d = Interval_store.elements store ~tag:desc in
     let pairs, stats = Lxu_join.Stack_tree_desc.join ~axis:jaxis ~anc:a ~desc:d () in
@@ -160,14 +161,15 @@ let query t ?(axis = Descendant) ~anc ~desc () =
 
 (* Cardinality without the local->global translation of [query]: the
    join itself produces label pairs; counting needs no conversion. *)
-let count t ?(axis = Descendant) ~anc ~desc () =
+let count t ?(axis = Descendant) ?guard ~anc ~desc () =
   match t.backend with
   | Log log ->
     let jaxis = match axis with Descendant -> Lxu_join.Lazy_join.Descendant | Child -> Lxu_join.Lazy_join.Child in
-    let pairs, _ = Lxu_join.Lazy_join.run ~axis:jaxis ?pool:(pool_of t) log ~anc ~desc () in
+    let pairs, _ = Lxu_join.Lazy_join.run ~axis:jaxis ?pool:(pool_of t) ?guard log ~anc ~desc () in
     List.length pairs
   | Store store ->
     let jaxis = match axis with Descendant -> Lxu_join.Stack_tree_desc.Descendant | Child -> Lxu_join.Stack_tree_desc.Child in
+    Lxu_util.Deadline.check_opt guard;
     let a = Interval_store.elements store ~tag:anc in
     let d = Interval_store.elements store ~tag:desc in
     let _, stats = Lxu_join.Stack_tree_desc.join ~axis:jaxis ~anc:a ~desc:d () in

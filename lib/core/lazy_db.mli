@@ -85,13 +85,25 @@ val remove : t -> gp:int -> len:int -> unit
     fragment of the current document. *)
 
 val query :
-  t -> ?axis:axis -> anc:string -> desc:string -> unit -> (int * int) list * query_stats
+  t ->
+  ?axis:axis ->
+  ?guard:Lxu_util.Deadline.guard ->
+  anc:string ->
+  desc:string ->
+  unit ->
+  (int * int) list * query_stats
 (** [query t ~anc ~desc ()] evaluates [anc//desc] (or [anc/desc] with
     [~axis:Child]) and returns [(anc_gstart, desc_gstart)] pairs sorted
-    by [(desc, anc)], plus evaluation statistics. *)
+    by [(desc, anc)], plus evaluation statistics.
 
-val count : t -> ?axis:axis -> anc:string -> desc:string -> unit -> int
-(** Result cardinality of the join. *)
+    [guard] makes the join cooperative (see {!Lxu_join.Lazy_join.run}):
+    evaluation raises [Lxu_util.Deadline.Cancel.Cancelled] promptly on
+    a cancel or deadline expiry instead of running to completion.
+    Without it, behaviour and cost are exactly as before. *)
+
+val count :
+  t -> ?axis:axis -> ?guard:Lxu_util.Deadline.guard -> anc:string -> desc:string -> unit -> int
+(** Result cardinality of the join.  [guard] as in {!query}. *)
 
 val doc_length : t -> int
 val element_count : t -> int

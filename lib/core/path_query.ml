@@ -145,7 +145,7 @@ module Ref_set = Set.Make (struct
   let compare = compare
 end)
 
-let log_ops log =
+let log_ops ?guard log =
   let reg = Update_log.registry log in
   let fold_tag tag f init =
     match Tag_registry.find reg tag with
@@ -153,6 +153,7 @@ let log_ops log =
     | Some tid ->
       Array.fold_left
         (fun acc (entry : Tag_list.entry) ->
+          Lxu_util.Deadline.check_opt guard;
           Array.fold_left f acc (Update_log.elements_of log ~tid ~sid:entry.Tag_list.sid))
         init
         (Update_log.segments_for_tag log ~tag)
@@ -163,7 +164,7 @@ let log_ops log =
     | Child -> Lxu_join.Lazy_join.Child
   in
   let join axis ~anc ~desc =
-    fst (Lxu_join.Lazy_join.run ~axis:(jaxis axis) log ~anc ~desc ())
+    fst (Lxu_join.Lazy_join.run ~axis:(jaxis axis) ?guard log ~anc ~desc ())
   in
   let key (r : Lxu_join.Lazy_join.elem_ref) =
     (r.Lxu_join.Lazy_join.sid, r.Lxu_join.Lazy_join.start)
@@ -216,13 +217,16 @@ let log_ops log =
 
 module Int_set = Set.Make (Int)
 
-let store_ops store =
+let store_ops ?guard store =
   let elements tag = Interval_store.elements store ~tag in
   let jaxis = function
     | Desc -> Lxu_join.Stack_tree_desc.Descendant
     | Child -> Lxu_join.Stack_tree_desc.Child
   in
   let join axis ~anc ~desc =
+    (* Stack-Tree-Desc itself is not guard-aware; checking per join
+       call still bounds a multi-step path between steps. *)
+    Lxu_util.Deadline.check_opt guard;
     fst (Lxu_join.Stack_tree_desc.join ~axis:(jaxis axis) ~anc:(elements anc) ~desc:(elements desc) ())
   in
   {
@@ -351,20 +355,25 @@ let eval_log_holistic log steps =
   |> List.map (fun (l : Interval.t) -> (l.Interval.start, l.Interval.stop))
   |> List.sort compare
 
-let eval ?(strategy = Pairwise) db steps =
+let eval ?(strategy = Pairwise) ?guard db steps =
   if steps = [] then invalid_arg "Path_query.eval: empty path";
+  Lxu_util.Deadline.check_opt guard;
   match (Lazy_db.log db, strategy) with
   | Some log, Holistic when not (has_predicates steps) ->
+    (* The holistic passes run on materialized global lists; the guard
+       bounds their stream construction, not the single merge pass. *)
     Update_log.prepare_for_query log;
+    Lxu_util.Deadline.check_opt guard;
     eval_log_holistic log steps
   | Some log, Holistic ->
     (* Predicate paths are branching twigs: TwigStack. *)
     Update_log.prepare_for_query log;
+    Lxu_util.Deadline.check_opt guard;
     eval_log_twig log steps
   | Some log, Pairwise ->
     Update_log.prepare_for_query log;
-    eval_steps (log_ops log) steps
-  | None, _ -> eval_steps (store_ops (Option.get (Lazy_db.store db))) steps
+    eval_steps (log_ops ?guard log) steps
+  | None, _ -> eval_steps (store_ops ?guard (Option.get (Lazy_db.store db))) steps
 
-let eval_string ?strategy db s = eval ?strategy db (parse_exn s)
-let count ?strategy db s = List.length (eval_string ?strategy db s)
+let eval_string ?strategy ?guard db s = eval ?strategy ?guard db (parse_exn s)
+let count ?strategy ?guard db s = List.length (eval_string ?strategy ?guard db s)

@@ -48,13 +48,20 @@ val parse_exn : string -> t
 
 val to_string : t -> string
 
-val eval : ?strategy:strategy -> Lazy_db.t -> t -> (int * int) list
+val eval :
+  ?strategy:strategy -> ?guard:Lxu_util.Deadline.guard -> Lazy_db.t -> t -> (int * int) list
 (** Matches of the final step, sorted by start position.  The
     [Holistic] strategy requires a lazy engine ([LD]/[LS]); on [STD]
     it falls back to [Pairwise].
+
+    [guard] makes evaluation cooperative: it is threaded into every
+    per-step Lazy-Join and checked between steps and per tag-list
+    segment, so evaluation raises [Lxu_util.Deadline.Cancel.Cancelled]
+    promptly after a cancel or deadline expiry.
     @raise Invalid_argument on an empty path. *)
 
-val eval_string : ?strategy:strategy -> Lazy_db.t -> string -> (int * int) list
+val eval_string :
+  ?strategy:strategy -> ?guard:Lxu_util.Deadline.guard -> Lazy_db.t -> string -> (int * int) list
 (** [parse] + [eval]. @raise Invalid_argument on a syntax error. *)
 
-val count : ?strategy:strategy -> Lazy_db.t -> string -> int
+val count : ?strategy:strategy -> ?guard:Lxu_util.Deadline.guard -> Lazy_db.t -> string -> int

@@ -6,8 +6,8 @@ type t = {
   mutable active_readers : int;
   mutable writer_active : bool;
   mutable writers_waiting : int;
-  mutable reads_done : int;
-  mutable writes_done : int;
+  reads_done : int Atomic.t;
+  writes_done : int Atomic.t;
 }
 
 let wrap db =
@@ -19,14 +19,14 @@ let wrap db =
     active_readers = 0;
     writer_active = false;
     writers_waiting = 0;
-    reads_done = 0;
-    writes_done = 0;
+    reads_done = Atomic.make 0;
+    writes_done = Atomic.make 0;
   }
 
-let create ?(engine = Lazy_db.LD) ?index_attributes ?durability () =
+let create ?(engine = Lazy_db.LD) ?index_attributes ?domains ?durability () =
   if engine = Lazy_db.LS then
     invalid_arg "Shared_db.create: LS queries mutate the log; use LD";
-  wrap (Lazy_db.create ~engine ?index_attributes ?durability ())
+  wrap (Lazy_db.create ~engine ?index_attributes ?domains ?durability ())
 
 let read t f =
   Mutex.lock t.lock;
@@ -41,7 +41,7 @@ let read t f =
     ~finally:(fun () ->
       Mutex.lock t.lock;
       t.active_readers <- t.active_readers - 1;
-      t.reads_done <- t.reads_done + 1;
+      Atomic.incr t.reads_done;
       if t.active_readers = 0 then Condition.signal t.can_write;
       Mutex.unlock t.lock)
     (fun () -> f t.db)
@@ -59,7 +59,7 @@ let write t f =
     ~finally:(fun () ->
       Mutex.lock t.lock;
       t.writer_active <- false;
-      t.writes_done <- t.writes_done + 1;
+      Atomic.incr t.writes_done;
       if t.writers_waiting > 0 then Condition.signal t.can_write
       else Condition.broadcast t.can_read;
       Mutex.unlock t.lock)
@@ -82,8 +82,4 @@ let close t = write t Lazy_db.close
 let count t ?axis ~anc ~desc () = read t (fun db -> Lazy_db.count db ?axis ~anc ~desc ())
 let path_count t path = read t (fun db -> Path_query.count db path)
 
-let stats t =
-  Mutex.lock t.lock;
-  let r = (t.reads_done, t.writes_done) in
-  Mutex.unlock t.lock;
-  r
+let stats t = (Atomic.get t.reads_done, Atomic.get t.writes_done)

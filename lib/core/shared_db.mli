@@ -10,23 +10,22 @@
 
     Engines: [LD] (queries are read-only once the log is maintained)
     and [STD].  [LS] is rejected — its deferred sorting makes the
-    first query after an update a writer, defeating shared reads.
-
-    Cost counters inside the database (index accesses, path ops) are
-    updated without synchronization by concurrent readers and may
-    undercount; they are diagnostics, not results. *)
+    first query after an update a writer, defeating shared reads. *)
 
 type t
 
 val create :
   ?engine:Lazy_db.engine ->
   ?index_attributes:bool ->
+  ?domains:int ->
   ?durability:[ `None | `Wal of string ] ->
   unit ->
   t
-(** [durability] as in {!Lazy_db.create}: writers append their WAL
-    records under the write lock, so the on-disk log always reflects
-    a serializable update history.
+(** [domains] and [durability] as in {!Lazy_db.create}: queries of the
+    wrapped database fan out over a shared domain pool when
+    [domains > 1], and writers append their WAL records under the
+    write lock, so the on-disk log always reflects a serializable
+    update history.
     @raise Invalid_argument for the [LS] engine. *)
 
 val recover : ?domains:int -> string -> t * Lxu_storage.Recovery.report
@@ -60,4 +59,5 @@ val write : t -> (Lazy_db.t -> 'a) -> 'a
 (** Runs [f] under the write lock. *)
 
 val stats : t -> int * int
-(** [(reads_completed, writes_completed)]. *)
+(** [(reads_completed, writes_completed)] — exact: the counters are
+    atomics, so no completion is ever lost to a racing update. *)

@@ -94,8 +94,10 @@ let array_filter keep a =
    (virtual local labels), emitting pairs through [emit].  Avoids any
    conversion to and from interval records on the hot output path; the
    ancestor stack is a growable array indexed by [top], so the inner
-   loop allocates nothing per push/pop. *)
-let in_segment_join ~axis ~anc ~desc ~emit =
+   loop allocates nothing per push/pop.  [guard] is checked once per
+   merge step, so a cancel or deadline stops a large in-segment join
+   mid-scan. *)
+let in_segment_join ?guard ~axis ~anc ~desc ~emit () =
   let n_a = Array.length anc and n_d = Array.length desc in
   if n_a > 0 && n_d > 0 then begin
     let stack = ref (Array.make (min 16 n_a) anc.(0)) in
@@ -111,6 +113,7 @@ let in_segment_join ~axis ~anc ~desc ~emit =
     in
     let ia = ref 0 and id = ref 0 in
     while !id < n_d && (!ia < n_a || !top > 0) do
+      Deadline.check_opt guard;
       let d = desc.(!id) in
       let a_start = if !ia < n_a then anc.(!ia).start else max_int in
       if a_start < d.start then begin
@@ -152,11 +155,16 @@ type d_task = {
 
 (* Runs one task: cross-segment emission (Proposition 3), then the
    in-segment join.  [stats] and [out] are owned by the caller — under
-   the pool each chunk gets its own, merged afterwards. *)
-let exec_task ~axis ~fetch_a ~fetch_d ~stats ~out task =
+   the pool each chunk gets its own, merged afterwards.  [guard] is
+   checked at task entry and per cross frame, so a parallel join
+   observes a cancel within one pool chunk — every task of a chunk
+   re-checks before doing work. *)
+let exec_task ?guard ~axis ~fetch_a ~fetch_d ~stats ~out task =
+  Deadline.check_opt guard;
   let d_elems = lazy (fetch_d task.d_sid) in
   List.iter
     (fun (p, elems) ->
+      Deadline.check_opt guard;
       Array.iter
         (fun (a : elem_ref) ->
           if a.start < p && a.stop > p then
@@ -176,9 +184,11 @@ let exec_task ~axis ~fetch_a ~fetch_d ~stats ~out task =
     task.cross;
   if task.in_seg then begin
     let a_elems = fetch_a task.d_sid in
-    in_segment_join ~axis ~anc:a_elems ~desc:(Lazy.force d_elems) ~emit:(fun a d ->
+    in_segment_join ?guard ~axis ~anc:a_elems ~desc:(Lazy.force d_elems)
+      ~emit:(fun a d ->
         Vec.push out { anc = a; desc = d };
         stats.in_pairs <- stats.in_pairs + 1)
+      ()
   end
 
 (* The segment-merge pass of Figure 9 (steps 1-3): walks SL_A and SL_D
@@ -186,10 +196,11 @@ let exec_task ~axis ~fetch_a ~fetch_d ~stats ~out task =
    SL_D entry to [emit_task] as a self-contained work unit.  All
    ER-tree and tag-list access happens here, on the calling thread;
    only element-index reads are deferred to the tasks. *)
-let plan ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld =
+let plan ?guard ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld () =
   let stack = ref [] in
   let ia = ref 0 and id = ref 0 in
   while !id < Array.length sld && (!ia < Array.length sla || !stack <> []) do
+    Deadline.check_opt guard;
     let sd_entry = sld.(!id) in
     let sd_node = Update_log.node_of_sid log sd_entry.Tag_list.sid in
     match !stack with
@@ -263,9 +274,10 @@ let plan ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld =
         incr id)
   done
 
-let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool log ~anc ~desc
-    () =
+let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool ?guard log
+    ~anc ~desc () =
   let stats = zero_stats () in
+  Deadline.check_opt guard;
   Update_log.prepare_for_query log;
   let reg = Update_log.registry log in
   match (Tag_registry.find reg anc, Tag_registry.find reg desc) with
@@ -298,28 +310,31 @@ let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool log 
     | None ->
       (* Sequential: execute each join unit as the merge produces it. *)
       let out = Vec.create () in
-      plan ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
+      plan ?guard ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
         ~emit_task:
-          (exec_task ~axis ~fetch_a:(fetch tid_a stats) ~fetch_d:(fetch tid_d stats)
-             ~stats ~out)
-        log ~sla ~sld;
+          (exec_task ?guard ~axis ~fetch_a:(fetch tid_a stats)
+             ~fetch_d:(fetch tid_d stats) ~stats ~out)
+        log ~sla ~sld ();
       (Vec.to_list out, stats)
     | Some p ->
       (* Parallel: the merge pass collects the join units, the pool
          executes them with per-task output buffers and stats, and the
          merge below re-reads both in task order — so pairs come out
          byte-identical to the sequential path and stats totals are
-         exact, not approximate. *)
+         exact, not approximate.  Each task re-checks [guard], so a
+         cancel aborts the pool run within one chunk: the first task
+         to observe it raises, the pool abandons unclaimed chunks, and
+         [Domain_pool.map] re-raises here. *)
       let tasks = Vec.create () in
-      plan ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
-        ~emit_task:(Vec.push tasks) log ~sla ~sld;
+      plan ?guard ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
+        ~emit_task:(Vec.push tasks) log ~sla ~sld ();
       let tasks = Vec.to_array tasks in
       let results =
         Domain_pool.map p (Array.length tasks) (fun i ->
             let lstats = zero_stats () in
             let out = Vec.create () in
-            exec_task ~axis ~fetch_a:(fetch tid_a lstats) ~fetch_d:(fetch tid_d lstats)
-              ~stats:lstats ~out tasks.(i);
+            exec_task ?guard ~axis ~fetch_a:(fetch tid_a lstats)
+              ~fetch_d:(fetch tid_d lstats) ~stats:lstats ~out tasks.(i);
             (out, lstats))
       in
       let acc = ref [] in

@@ -51,6 +51,7 @@ val run :
   ?push_filter:bool ->
   ?trim_top:bool ->
   ?pool:Lxu_util.Domain_pool.t ->
+  ?guard:Lxu_util.Deadline.guard ->
   Lxu_seglog.Update_log.t ->
   anc:string ->
   desc:string ->
@@ -69,7 +70,15 @@ val run :
 
     [pool] runs the per-segment join units on the given domain pool
     (see the module comment); omitted, or with a pool of size 1, the
-    run is fully sequential.  Results never depend on the choice. *)
+    run is fully sequential.  Results never depend on the choice.
+
+    [guard] makes the join cooperative: the segment-merge loop, every
+    join unit, and every in-segment merge step call
+    {!Lxu_util.Deadline.check}, so the run raises
+    [Lxu_util.Deadline.Cancel.Cancelled] within one unit of the
+    deadline expiring or the token firing — under a pool, within one
+    chunk.  Without [guard] the run is exactly the ungoverned join:
+    identical pairs and stats, one extra branch per check point. *)
 
 val global_pairs : Lxu_seglog.Update_log.t -> pair list -> (int * int) list
 (** Translates pairs to [(anc_gstart, desc_gstart)] global positions,

@@ -1,12 +1,13 @@
 open Lxu_labeling
 
-let join ?(axis = Stack_tree_desc.Descendant) ~anc ~desc () =
+let join ?(axis = Stack_tree_desc.Descendant) ?guard ~anc ~desc () =
   let stats = { Stack_tree_desc.a_scanned = 0; d_scanned = 0; pairs = 0 } in
   let out = ref [] in
   let n_d = Array.length desc in
   let mark = ref 0 in
   Array.iter
     (fun (a : Interval.t) ->
+      Lxu_util.Deadline.check_opt guard;
       stats.Stack_tree_desc.a_scanned <- stats.Stack_tree_desc.a_scanned + 1;
       (* Advance the mark past descendants that precede this ancestor;
          they precede every later ancestor too. *)

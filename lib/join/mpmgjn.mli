@@ -11,9 +11,13 @@
 
 val join :
   ?axis:Stack_tree_desc.axis ->
+  ?guard:Lxu_util.Deadline.guard ->
   anc:Lxu_labeling.Interval.t array ->
   desc:Lxu_labeling.Interval.t array ->
   unit ->
   (Lxu_labeling.Interval.t * Lxu_labeling.Interval.t) list * Stack_tree_desc.stats
 (** Inputs sorted by start; output sorted by
-    (ancestor start, descendant start). *)
+    (ancestor start, descendant start).  [guard] is checked once per
+    ancestor, so the merge raises
+    [Lxu_util.Deadline.Cancel.Cancelled] promptly on cancel or
+    deadline expiry. *)

@@ -1,0 +1,66 @@
+(* The clock: gettimeofday clamped to be non-decreasing process-wide,
+   so a backwards wall-clock step can delay an expiry but never
+   un-expire a deadline that already fired. *)
+let last_now = Atomic.make neg_infinity
+
+let rec clamp t =
+  let seen = Atomic.get last_now in
+  if t <= seen then seen
+  else if Atomic.compare_and_set last_now seen t then t
+  else clamp t
+
+let now () = clamp (Unix.gettimeofday ())
+
+type t = float (* absolute seconds on the [now] clock; infinity = never *)
+
+let never = infinity
+let after s = now () +. s
+let is_never d = d = infinity
+let expired d = d < infinity && now () >= d
+let remaining_s d = if d = infinity then infinity else d -. now ()
+
+module Cancel = struct
+  type reason = Timeout | User of string
+
+  exception Cancelled of reason
+
+  type t = reason option Atomic.t
+
+  let create () = Atomic.make None
+
+  let cancel ?(reason = "cancelled") t =
+    ignore (Atomic.compare_and_set t None (Some (User reason)))
+
+  let reason = Atomic.get
+  let is_cancelled t = Atomic.get t <> None
+end
+
+type guard = {
+  deadline : t;
+  cancel : Cancel.t option;
+  mutable countdown : int;
+      (* checks until the next clock probe; races between domains
+         sharing a guard only change probe frequency, never results *)
+}
+
+let probe_period = 64
+
+let guard ?(deadline = never) ?cancel () =
+  match (deadline, cancel) with
+  | d, None when d = infinity -> None
+  | _ -> Some { deadline; cancel; countdown = 0 }
+
+let check g =
+  (match g.cancel with
+  | None -> ()
+  | Some c -> (
+    match Atomic.get c with None -> () | Some r -> raise (Cancel.Cancelled r)));
+  if g.deadline < infinity then begin
+    g.countdown <- g.countdown - 1;
+    if g.countdown <= 0 then begin
+      g.countdown <- probe_period;
+      if now () >= g.deadline then raise (Cancel.Cancelled Cancel.Timeout)
+    end
+  end
+
+let check_opt = function None -> () | Some g -> check g

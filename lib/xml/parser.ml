@@ -2,7 +2,33 @@ exception Parse_error of { pos : int; msg : string }
 
 let fail pos fmt = Printf.ksprintf (fun msg -> raise (Parse_error { pos; msg })) fmt
 
-type state = { input : string; len : int; mutable pos : int }
+type limits = { max_depth : int; max_attrs : int; max_input_bytes : int }
+
+let default_limits =
+  { max_depth = 4096; max_attrs = 512; max_input_bytes = 256 * 1024 * 1024 }
+
+let line_col input pos =
+  let pos = max 0 (min pos (String.length input)) in
+  let line = ref 1 and bol = ref 0 in
+  for i = 0 to pos - 1 do
+    if input.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, pos - !bol + 1)
+
+let error_message ~input ~pos ~msg =
+  let line, col = line_col input pos in
+  Printf.sprintf "parse error at line %d, column %d (byte %d): %s" line col pos msg
+
+type state = {
+  input : string;
+  len : int;
+  mutable pos : int;
+  limits : limits;
+  mutable depth : int;  (* open elements; bounds the recursion *)
+}
 
 let peek st = if st.pos < st.len then Some st.input.[st.pos] else None
 let eof st = st.pos >= st.len
@@ -119,20 +145,22 @@ let parse_attr_value st =
   go ()
 
 let parse_attrs st =
-  let rec go acc =
+  let rec go n acc =
     skip_space st;
     match peek st with
     | Some c when is_name_start c ->
       let a_start = st.pos in
+      if n >= st.limits.max_attrs then
+        fail a_start "more than %d attributes on one element" st.limits.max_attrs;
       let attr_name = parse_name st in
       skip_space st;
       expect_string st "=";
       skip_space st;
       let attr_value = parse_attr_value st in
-      go ({ Tree.attr_name; attr_value; a_start; a_end = st.pos } :: acc)
+      go (n + 1) ({ Tree.attr_name; attr_value; a_start; a_end = st.pos } :: acc)
     | _ -> List.rev acc
   in
-  go []
+  go 0 []
 
 (* Scans until [delim] and returns the raw contents; [st.pos] must be
    just past the opening marker. *)
@@ -166,6 +194,14 @@ let parse_text st =
   { Tree.content = Buffer.contents buf; t_start = start; t_end = st.pos }
 
 let rec parse_element st =
+  st.depth <- st.depth + 1;
+  if st.depth > st.limits.max_depth then
+    fail st.pos "element nesting exceeds the depth limit (%d)" st.limits.max_depth;
+  let e = parse_element_body st in
+  st.depth <- st.depth - 1;
+  e
+
+and parse_element_body st =
   let start = st.pos in
   expect_string st "<";
   let tag = parse_name st in
@@ -222,8 +258,11 @@ and parse_node st =
   else if looking_at st "<" then Tree.Element (parse_element st)
   else Tree.Text (parse_text st)
 
-let parse_fragment input =
-  let st = { input; len = String.length input; pos = 0 } in
+let parse_fragment ?(limits = default_limits) input =
+  if String.length input > limits.max_input_bytes then
+    fail limits.max_input_bytes "input of %d bytes exceeds the %d-byte limit"
+      (String.length input) limits.max_input_bytes;
+  let st = { input; len = String.length input; pos = 0; limits; depth = 0 } in
   let rec go acc =
     if eof st then List.rev acc
     else if looking_at st "</" then fail st.pos "unexpected end tag at top level"
@@ -236,8 +275,8 @@ let is_blank_text = function
   | Tree.Comment _ | Tree.Pi _ -> true
   | Tree.Cdata _ | Tree.Element _ -> false
 
-let parse_document input =
-  let nodes = parse_fragment input in
+let parse_document ?limits input =
+  let nodes = parse_fragment ?limits input in
   let roots =
     List.filter_map (function Tree.Element e -> Some e | _ -> None) nodes
   in
@@ -248,11 +287,10 @@ let parse_document input =
   | [] -> fail 0 "no root element"
   | _ -> fail 0 "multiple root elements"
 
-let parse_fragment_result input =
-  match parse_fragment input with
+let parse_fragment_result ?limits input =
+  match parse_fragment ?limits input with
   | nodes -> Ok nodes
-  | exception Parse_error { pos; msg } ->
-    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Parse_error { pos; msg } -> Error (error_message ~input ~pos ~msg)
 
-let is_well_formed_fragment input =
-  match parse_fragment_result input with Ok _ -> true | Error _ -> false
+let is_well_formed_fragment ?limits input =
+  match parse_fragment_result ?limits input with Ok _ -> true | Error _ -> false

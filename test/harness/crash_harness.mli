@@ -19,6 +19,13 @@
 val vocabulary : string array
 (** Element tags the generated fragments draw from. *)
 
+val fragments : string array
+(** Well-formed fragments the schedules insert. *)
+
+val element_extents : string -> (int * int) list
+(** [(start, stop)] byte extents of every element in a well-formed
+    forest — the legal removal targets. *)
+
 val gen_ops : seed:int -> target_ops:int -> Lxu_storage.Wal.op list
 (** A valid random schedule of about [target_ops] operations. *)
 

@@ -1,0 +1,89 @@
+module Rng = Lxu_workload.Rng
+module Generator = Lxu_workload.Generator
+module Parser = Lxu_xml.Parser
+
+(* Feature-rich by hand: attributes with both quote styles, every
+   entity form, CDATA, comments, PIs — branches random generation
+   rarely composes. *)
+let handmade =
+  "<?xml-ish pi?><!--c--><a id=\"1\" q='&quot;x&quot;'><b>&amp;&#65;&#x41;</b>\
+   <![CDATA[<raw>&]]><c/>tail</a>"
+
+let base_doc i =
+  match i mod 4 with
+  | 0 -> Generator.generate_text ~seed:(i + 1) ~target_elements:120 ()
+  | 1 -> Generator.deep_chain ~tags:[| "a"; "b"; "c" |] ~depth:400 ~payload:"x"
+  | 2 -> handmade
+  | _ -> Generator.generate_with_spine_text ~seed:(i + 1) ~target_elements:150 ~spine_depth:60 ()
+
+let metachars = [| "<"; ">"; "/>"; "</"; "&"; "&#"; "]]>"; "<!--"; "\""; "'"; "=" |]
+
+let mutate rng doc =
+  let buf = Buffer.create (String.length doc + 16) in
+  Buffer.add_string buf doc;
+  let edits = 1 + Rng.int rng 8 in
+  for _ = 1 to edits do
+    let s = Buffer.contents buf in
+    let n = String.length s in
+    if n = 0 then Buffer.add_string buf (Rng.pick rng metachars)
+    else begin
+      Buffer.clear buf;
+      let at = Rng.int rng (n + 1) in
+      match Rng.int rng 5 with
+      | 0 when at < n ->
+        (* overwrite one byte with arbitrary noise *)
+        Buffer.add_string buf (String.sub s 0 at);
+        Buffer.add_char buf (Char.chr (Rng.int rng 256));
+        Buffer.add_string buf (String.sub s (at + 1) (n - at - 1))
+      | 1 ->
+        Buffer.add_string buf (String.sub s 0 at);
+        Buffer.add_char buf (Char.chr (Rng.int rng 256));
+        Buffer.add_string buf (String.sub s at (n - at))
+      | 2 when at < n ->
+        (* delete *)
+        Buffer.add_string buf (String.sub s 0 at);
+        Buffer.add_string buf (String.sub s (at + 1) (n - at - 1))
+      | 3 ->
+        (* duplicate a slice: breeds unbalanced tags and split tokens *)
+        let len = Rng.int rng (min 32 (n - at + 1)) in
+        Buffer.add_string buf (String.sub s 0 at);
+        Buffer.add_string buf (String.sub s at (min len (n - at)));
+        Buffer.add_string buf (String.sub s at (n - at))
+      | _ ->
+        Buffer.add_string buf (String.sub s 0 at);
+        Buffer.add_string buf (Rng.pick rng metachars);
+        Buffer.add_string buf (String.sub s at (n - at))
+    end
+  done;
+  Buffer.contents buf
+
+let preview s =
+  let s = if String.length s <= 120 then s else String.sub s 0 120 ^ "..." in
+  String.escaped s
+
+let check_batch ~seed ~rounds =
+  let rng = Rng.create seed in
+  let result = ref (Ok ()) in
+  (try
+     for round = 1 to rounds do
+       let doc = base_doc (Rng.int rng 16) in
+       let mutant = mutate rng doc in
+       match Parser.parse_fragment_result mutant with
+       | Ok _ | Error _ -> ()
+       | exception e ->
+         result :=
+           Error
+             (Printf.sprintf "seed %d round %d: parser raised %s on %S" seed round
+                (Printexc.to_string e) (preview mutant));
+         raise Exit
+     done
+   with Exit -> ());
+  !result
+
+let run_corpus ~seeds ~rounds =
+  List.iter
+    (fun seed ->
+      match check_batch ~seed ~rounds with
+      | Ok () -> Printf.printf "parser fuzz seed %d: %d mutants total\n%!" seed rounds
+      | Error msg -> failwith ("parser fuzz: " ^ msg))
+    seeds

@@ -22,4 +22,5 @@ let () =
       ("parallel_join", Test_parallel_join.suite);
       ("storage", Test_storage.suite);
       ("recovery", Test_recovery.suite);
+      ("governor", Test_governor.suite);
     ]

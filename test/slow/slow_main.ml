@@ -1,12 +1,21 @@
-(* The full crash-recovery acceptance matrix: >= 30 randomized
-   workloads, each crashed at every WAL record boundary and under
-   injected torn / bit-flipped / duplicated tails.  Quick versions of
-   the same sweep run under the default test alias (test_recovery.ml);
-   this one is the slow tier:
+(* The slow acceptance tier:
+
+   - the full crash-recovery matrix: >= 30 randomized workloads, each
+     crashed at every WAL record boundary and under injected torn /
+     bit-flipped / duplicated tails;
+   - the full overload chaos matrix: LD and STD engines x sequential
+     and 4-domain parallelism x several seeds, each run asserting
+     typed shedding, bounded cancellation and a torn-state-free
+     post-pressure fingerprint;
+   - the full parser mutation-fuzz corpus.
+
+   Quick versions of all three run under the default test alias; this
+   tier is:
 
      dune build @slow
 
-   LXU_CRASH_SEEDS / LXU_CRASH_OPS override the matrix size. *)
+   LXU_CRASH_SEEDS / LXU_CRASH_OPS / LXU_OVERLOAD_SEEDS /
+   LXU_FUZZ_SEEDS override the matrix sizes. *)
 
 let int_env name default =
   match Sys.getenv_opt name with
@@ -19,4 +28,16 @@ let () =
   Printf.printf "crash matrix: %d workloads x ~%d ops, every record boundary + 3 faults each\n%!"
     seeds target_ops;
   Lxu_crash_harness.Crash_harness.run_matrix ~seeds:(List.init seeds (fun i -> i + 1)) ~target_ops;
-  Printf.printf "crash matrix: all %d workloads recovered byte-identically\n%!" seeds
+  Printf.printf "crash matrix: all %d workloads recovered byte-identically\n%!" seeds;
+  let overload_seeds = int_env "LXU_OVERLOAD_SEEDS" 6 in
+  Printf.printf "overload matrix: {LD,STD} x domains {1,4} x %d seeds\n%!" overload_seeds;
+  Lxu_crash_harness.Overload_harness.run_matrix
+    ~engines:[ Lazy_xml.Lazy_db.LD; Lazy_xml.Lazy_db.STD ]
+    ~domains:[ 1; 4 ]
+    ~seeds:(List.init overload_seeds (fun i -> i + 1));
+  Printf.printf "overload matrix: no hangs, typed shedding, fingerprints identical\n%!";
+  let fuzz_seeds = int_env "LXU_FUZZ_SEEDS" 40 in
+  Lxu_crash_harness.Parser_fuzz.run_corpus
+    ~seeds:(List.init fuzz_seeds (fun i -> (i * 7919) + 1))
+    ~rounds:250;
+  Printf.printf "parser fuzz: %d seeds x 250 mutants, parser stayed total\n%!" fuzz_seeds

@@ -279,6 +279,81 @@ let test_deep_nesting () =
   let nodes = parse text in
   check_int "deep doc parses" depth (Tree.element_count nodes)
 
+(* --- positions and resource limits ---------------------------------- *)
+
+let test_line_col () =
+  let s = "ab\ncde\n\nf" in
+  Alcotest.(check (pair int int)) "start" (1, 1) (Parser.line_col s 0);
+  Alcotest.(check (pair int int)) "before newline" (1, 3) (Parser.line_col s 2);
+  Alcotest.(check (pair int int)) "after newline" (2, 1) (Parser.line_col s 3);
+  Alcotest.(check (pair int int)) "line 2" (2, 3) (Parser.line_col s 5);
+  Alcotest.(check (pair int int)) "empty line" (3, 1) (Parser.line_col s 7);
+  Alcotest.(check (pair int int)) "end of input" (4, 2) (Parser.line_col s 9);
+  Alcotest.(check (pair int int)) "clamped" (4, 2) (Parser.line_col s 999)
+
+let test_error_reports_line_col () =
+  match Parser.parse_fragment_result "<a>\n  <b>\n</a>" with
+  | Ok _ -> Alcotest.fail "expected a parse error"
+  | Error msg ->
+    check_bool
+      (Printf.sprintf "message %S locates the error" msg)
+      true
+      (String.starts_with ~prefix:"parse error at line 3, column " msg)
+
+let test_depth_limit () =
+  let deep n =
+    String.concat "" (List.init n (fun _ -> "<a>"))
+    ^ String.concat "" (List.init n (fun _ -> "</a>"))
+  in
+  let limits = { Parser.default_limits with Parser.max_depth = 4 } in
+  check_int "at the limit" 4 (Tree.element_count (Parser.parse_fragment ~limits (deep 4)));
+  (match Parser.parse_fragment_result ~limits (deep 5) with
+  | Ok _ -> Alcotest.fail "depth 5 accepted under max_depth 4"
+  | Error _ -> ());
+  (* Sibling depth does not accumulate: only nesting counts. *)
+  check_int "siblings unaffected" 8
+    (Tree.element_count (Parser.parse_fragment ~limits (deep 4 ^ deep 4)))
+
+let test_attr_limit () =
+  let with_attrs n =
+    "<a "
+    ^ String.concat " " (List.init n (fun i -> Printf.sprintf "k%d=\"v\"" i))
+    ^ "/>"
+  in
+  let limits = { Parser.default_limits with Parser.max_attrs = 3 } in
+  check_int "at the limit" 1 (List.length (Parser.parse_fragment ~limits (with_attrs 3)));
+  match Parser.parse_fragment_result ~limits (with_attrs 4) with
+  | Ok _ -> Alcotest.fail "4 attributes accepted under max_attrs 3"
+  | Error _ -> ()
+
+let test_input_size_limit () =
+  let limits = { Parser.default_limits with Parser.max_input_bytes = 8 } in
+  check_int "small input fine" 1 (List.length (Parser.parse_fragment ~limits "<a/>"));
+  match Parser.parse_fragment_result ~limits "<aaaa/><b/>" with
+  | Ok _ -> Alcotest.fail "oversized input accepted"
+  | Error _ -> ()
+
+let test_default_depth_is_stack_safe () =
+  (* 100k nesting levels must hit the depth limit as a Parse_error,
+     never blow the stack. *)
+  let text =
+    Lxu_workload.Generator.deep_chain ~tags:[| "a"; "b" |] ~depth:100_000 ~payload:""
+  in
+  match Parser.parse_fragment_result text with
+  | Ok _ -> Alcotest.fail "100k nesting accepted under default limits"
+  | Error msg -> check_bool "limit named in message" true
+    (String.length msg > 0 && String.contains msg 'd')
+
+(* --- mutation fuzz: valid documents under random byte edits ---------- *)
+
+let prop_mutation_fuzz =
+  QCheck2.Test.make ~name:"mutation fuzz keeps the parser total (quick slice)" ~count:25
+    QCheck2.Gen.(int_bound 100_000)
+    (fun seed ->
+      match Lxu_crash_harness.Parser_fuzz.check_batch ~seed ~rounds:15 with
+      | Ok () -> true
+      | Error msg -> QCheck2.Test.fail_report msg)
+
 let suite =
   suite
   @ [
@@ -288,4 +363,12 @@ let suite =
       Alcotest.test_case "whitespace in tags" `Quick test_whitespace_in_tags;
       Alcotest.test_case "crlf preserved" `Quick test_crlf_text_preserved;
       Alcotest.test_case "deep nesting" `Quick test_deep_nesting;
+      Alcotest.test_case "line/col positions" `Quick test_line_col;
+      Alcotest.test_case "errors report line and column" `Quick test_error_reports_line_col;
+      Alcotest.test_case "depth limit" `Quick test_depth_limit;
+      Alcotest.test_case "attribute limit" `Quick test_attr_limit;
+      Alcotest.test_case "input size limit" `Quick test_input_size_limit;
+      Alcotest.test_case "default depth limit is stack-safe" `Quick
+        test_default_depth_is_stack_safe;
+      QCheck_alcotest.to_alcotest prop_mutation_fuzz;
     ]
