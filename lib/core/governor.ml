@@ -29,6 +29,7 @@ type stats = {
   rejected_overload : int;
   rejected_timeout : int;
   rejected_cancel : int;
+  failed : int;
 }
 
 type t = {
@@ -48,6 +49,7 @@ type t = {
   rejected_overload : int Atomic.t;
   rejected_timeout : int Atomic.t;
   rejected_cancel : int Atomic.t;
+  failed : int Atomic.t;
 }
 
 let wrap ?(config = default_config) sdb =
@@ -69,6 +71,7 @@ let wrap ?(config = default_config) sdb =
     rejected_overload = Atomic.make 0;
     rejected_timeout = Atomic.make 0;
     rejected_cancel = Atomic.make 0;
+    failed = Atomic.make 0;
   }
 
 let create ?config ?engine ?index_attributes ?domains ?durability () =
@@ -86,6 +89,7 @@ let stats t =
     rejected_overload = Atomic.get t.rejected_overload;
     rejected_timeout = Atomic.get t.rejected_timeout;
     rejected_cancel = Atomic.get t.rejected_cancel;
+    failed = Atomic.get t.failed;
   }
 
 let reject t r =
@@ -171,15 +175,23 @@ let run t ~op ?deadline_s ?cancel f =
       Atomic.incr admitted;
       let start = Deadline.now () in
       let guard = Deadline.guard ?deadline ?cancel () in
-      let result =
-        try
-          let v = locked t.sdb (fun db -> f guard db) in
-          Atomic.incr completed;
-          Ok v
-        with Deadline.Cancel.Cancelled reason -> reject t (of_cancel ~start reason)
-      in
-      release t ~op;
-      result)
+      (* Every exit path — completion, cooperative cancellation, or a
+         foreign exception escaping the callback (malformed path,
+         parse error, ...) — must return the admission slot, or the
+         gauge leaks and the operation class is eventually shed
+         forever. *)
+      Fun.protect
+        ~finally:(fun () -> release t ~op)
+        (fun () ->
+          match locked t.sdb (fun db -> f guard db) with
+          | v ->
+            Atomic.incr completed;
+            Ok v
+          | exception Deadline.Cancel.Cancelled reason -> reject t (of_cancel ~start reason)
+          | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            Atomic.incr t.failed;
+            Printexc.raise_with_backtrace e bt))
 
 let read t ?deadline_s ?cancel f = run t ~op:`Read ?deadline_s ?cancel f
 let write t ?deadline_s ?cancel f = run t ~op:`Write ?deadline_s ?cancel f

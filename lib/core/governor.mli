@@ -60,6 +60,13 @@ type stats = {
   rejected_cancel : int;
       (** every rejection is counted in exactly one bucket, whether it
           happened at admission or mid-flight *)
+  failed : int;
+      (** callbacks that escaped with a foreign exception (anything
+          other than the guard's cancellation) — the exception is
+          re-raised to the caller after the admission slot is
+          released.  Accounting is exact: every admitted operation
+          ends in exactly one of completed, [rejected_timeout],
+          [rejected_cancel], or [failed]. *)
 }
 
 type t

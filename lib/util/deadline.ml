@@ -1,15 +1,10 @@
-(* The clock: gettimeofday clamped to be non-decreasing process-wide,
-   so a backwards wall-clock step can delay an expiry but never
-   un-expire a deadline that already fired. *)
-let last_now = Atomic.make neg_infinity
-
-let rec clamp t =
-  let seen = Atomic.get last_now in
-  if t <= seen then seen
-  else if Atomic.compare_and_set last_now seen t then t
-  else clamp t
-
-let now () = clamp (Unix.gettimeofday ())
+(* The clock: CLOCK_MONOTONIC via a tiny C stub.  Wall-clock sources
+   (gettimeofday) step in both directions — a backward step could
+   un-expire a deadline, a forward step (NTP, suspend/resume) would
+   instantly expire every in-flight one.  The monotonic clock is
+   system-wide non-decreasing by POSIX, which also gives the
+   cross-domain monotonicity the interface promises. *)
+external now : unit -> float = "lxu_deadline_monotonic_now"
 
 type t = float (* absolute seconds on the [now] clock; infinity = never *)
 

@@ -8,9 +8,10 @@
     loops:
 
     {ul
-    {- a {!t} — an absolute point on a process-local clock that never
-       runs backwards (wall-clock readings are clamped to be
-       non-decreasing, so a clock step cannot un-expire a deadline);}
+    {- a {!t} — an absolute point on the system's monotonic clock
+       ([CLOCK_MONOTONIC]), immune to wall-clock steps in either
+       direction: a step can neither un-expire a deadline nor fire
+       in-flight deadlines early;}
     {- a {!Cancel.t} — an atomic flag any domain can flip, carrying a
        reason, that running operations observe cooperatively.}}
 
@@ -24,7 +25,8 @@
     byte-identical in results and stats. *)
 
 val now : unit -> float
-(** Seconds on the process-local monotone clock.  Successive calls
+(** Seconds on the system monotonic clock ([CLOCK_MONOTONIC]) — not
+    wall time; only differences are meaningful.  Successive calls
     never decrease, across domains. *)
 
 type t

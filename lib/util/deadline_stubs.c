@@ -1,0 +1,18 @@
+/* Monotonic clock for Deadline.now: CLOCK_MONOTONIC, which POSIX
+   guarantees is system-wide non-decreasing and immune to wall-clock
+   steps (NTP, suspend/resume) in either direction — so a deadline can
+   neither un-expire nor fire spuriously early. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/fail.h>
+#include <time.h>
+
+CAMLprim value lxu_deadline_monotonic_now(value unit)
+{
+  struct timespec ts;
+  (void) unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    caml_failwith("Deadline.now: clock_gettime(CLOCK_MONOTONIC) failed");
+  return caml_copy_double((double) ts.tv_sec + (double) ts.tv_nsec * 1e-9);
+}

@@ -127,6 +127,31 @@ let test_cancel_mid_read () =
   check_int "not completed" 0 s.Governor.completed_reads;
   check_int "typed as cancel" 1 s.Governor.rejected_cancel
 
+let test_failed_callback_releases_slot () =
+  (* A callback that escapes with a foreign exception must re-raise,
+     count in the [failed] bucket, and still release its admission
+     slot — with max_readers = 1, a leaked slot would shed every
+     subsequent read forever. *)
+  let gov = Governor.create ~config:small_config () in
+  seeded_db gov;
+  (match Governor.read gov (fun _ _ -> invalid_arg "boom") with
+  | exception Invalid_argument _ -> ()
+  | Ok _ | Error _ -> Alcotest.fail "raising callback did not propagate");
+  (* A malformed path through the convenience wrapper takes the same
+     escape path (Path_query.parse_exn raises Invalid_argument). *)
+  (match Governor.path_count gov "not //a path" with
+  | exception Invalid_argument _ -> ()
+  | Ok _ -> Alcotest.fail "malformed path produced a count"
+  | Error r -> Alcotest.fail ("malformed path typed-rejected: " ^ Governor.rejection_to_string r));
+  (match Governor.read gov (fun _ _ -> 7) with
+  | Ok n -> check_int "slot released after failures" 7 n
+  | Error r -> Alcotest.fail ("admission slot leaked: " ^ Governor.rejection_to_string r));
+  let s = Governor.stats gov in
+  check_int "admitted" 3 s.Governor.admitted_reads;
+  check_int "completed" 1 s.Governor.completed_reads;
+  check_int "failed" 2 s.Governor.failed;
+  check_int "nothing shed" 0 s.Governor.rejected_overload
+
 (* --- deadlines -------------------------------------------------------- *)
 
 let test_deadline_pre_admission () =
@@ -266,6 +291,8 @@ let suite =
     Alcotest.test_case "writer queue bounded" `Quick test_writer_queue_bound;
     Alcotest.test_case "pre-cancelled op skips the lock" `Quick test_pre_cancelled_skips_lock;
     Alcotest.test_case "cancel lands mid-read" `Quick test_cancel_mid_read;
+    Alcotest.test_case "raising callback releases its slot" `Quick
+      test_failed_callback_releases_slot;
     Alcotest.test_case "expired deadline rejected at admission" `Quick test_deadline_pre_admission;
     Alcotest.test_case "deadline lands mid-read" `Quick test_deadline_mid_read;
     Alcotest.test_case "config default deadline" `Quick test_default_deadline_from_config;
