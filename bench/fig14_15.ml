@@ -44,7 +44,7 @@ let run () =
     List.map
       (fun (name, anc, desc) ->
         let pairs, stats = Lxu_join.Lazy_join.run ld ~anc ~desc () in
-        let n = List.length pairs in
+        let n = Array.length pairs in
         let crosspct =
           if n = 0 then 0 else 100 * stats.Lxu_join.Lazy_join.cross_pairs / n
         in

@@ -15,10 +15,9 @@ open Lxu_util
 let persons = 2_000 * Bench_util.scale
 let target_segments = 500 * Bench_util.scale
 
-let run () =
-  Bench_util.header
-    (Printf.sprintf "Parallel Lazy-Join: XMark workload, %d+ segments, 1/2/4/8 domains"
-       target_segments);
+(* The benchmark document and its edit schedule; shared with the cache
+   ablation (bench/ablation.ml) so both measure the same workload. *)
+let workload () =
   let text = Xmark.generate_text ~persons ~items:(persons * 3 / 5) ~seed:42 () in
   (* Raise the cross-segment share the way fig14_15 does: extra watch
      and interest segments inserted inside existing elements. *)
@@ -42,6 +41,13 @@ let run () =
     @ extra_inside "<watches>" (rep 16 watch)
     @ extra_inside "<profile " (rep 8 interest)
   in
+  (text, edits)
+
+let run () =
+  Bench_util.header
+    (Printf.sprintf "Parallel Lazy-Join: XMark workload, %d+ segments, 1/2/4/8 domains"
+       target_segments);
+  let text, edits = workload () in
   let log = Bench_util.load_log Update_log.Lazy_dynamic edits in
   Update_log.prepare_for_query log;
   let segments = Update_log.segment_count log in
@@ -53,7 +59,7 @@ let run () =
     List.fold_left
       (fun acc (_, anc, desc) ->
         let pairs, _ = Lxu_join.Lazy_join.run log ~anc ~desc () in
-        acc + List.length pairs)
+        acc + Array.length pairs)
       0 Xmark.queries
   in
   let domain_counts = [ 1; 2; 4; 8 ] in

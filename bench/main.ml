@@ -8,16 +8,17 @@
      dune exec bench/main.exe -- fig12 fig16
 
    Available targets: fig11a fig11b fig12 fig13 fig14 fig15 fig16
-   fig17a fig17b fig17c joins labels boxes micro parallel recovery
-   overload.  (fig14 and fig15 share one workload and always run
-   together.)
+   fig17a fig17b fig17c joins cache labels boxes micro parallel
+   recovery overload.  (fig14 and fig15 share one workload and always
+   run together.)
 
    Set LAZYXML_BENCH_SCALE=k to multiply the key dataset sizes of
    figs 12-16 by k (paper-scale runs take minutes).
 
    --json <path> redirects the machine-readable output of figures
-   that emit one (currently [parallel] -> BENCH_join.json) to <path>;
-   the flag is shared wiring for the whole perf trajectory. *)
+   that emit one ([parallel] -> BENCH_join.json, [cache] ->
+   BENCH_cache.json) to <path>; the flag is shared wiring for the
+   whole perf trajectory. *)
 
 (* (target, runner-id, runner): fig14 and fig15 share one runner. *)
 let targets : (string * string * (unit -> unit)) list =
@@ -33,6 +34,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("fig17b", "fig17b", Fig17.run_b);
     ("fig17c", "fig17c", Fig17.run_c);
     ("joins", "joins", Ablation.run_joins);
+    ("cache", "cache", Ablation.run_cache);
     ("labels", "labels", Ablation.run_labels);
     ("boxes", "boxes", Ablation.run_boxes);
     ("micro", "micro", Micro.run);
@@ -54,6 +56,15 @@ let rec extract_json_flag = function
   | arg :: rest -> arg :: extract_json_flag rest
 
 let () =
+  (* Size the minor heap for measurement (64 MB): the runtime default
+     (2 MB) forces minor collections mid-pass on every figure, and the
+     promotion of live working state adds milliseconds of identical,
+     variance-heavy noise to every variant — drowning the deltas the
+     figures exist to show.  This is runtime sizing a long-lived query
+     server would use anyway; it applies to all targets and variants
+     alike.  OCAMLRUNPARAM cannot override it (Gc.set wins), so edit
+     here to experiment. *)
+  Gc.set { (Gc.get ()) with Gc.minor_heap_size = 8 * 1024 * 1024 };
   let requested = extract_json_flag (List.tl (Array.to_list Sys.argv)) in
   let names = List.map (fun (n, _, _) -> n) targets in
   let unknown = List.filter (fun r -> not (List.mem r names)) requested in

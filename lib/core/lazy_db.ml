@@ -23,9 +23,9 @@ type query_stats = {
   elements_scanned : int;
 }
 
-let make_backend ~index_attributes = function
-  | LD -> Log (Update_log.create ~mode:Update_log.Lazy_dynamic ~index_attributes ())
-  | LS -> Log (Update_log.create ~mode:Update_log.Lazy_static ~index_attributes ())
+let make_backend ~index_attributes ?cache_bytes = function
+  | LD -> Log (Update_log.create ~mode:Update_log.Lazy_dynamic ~index_attributes ?cache_bytes ())
+  | LS -> Log (Update_log.create ~mode:Update_log.Lazy_static ~index_attributes ?cache_bytes ())
   | STD -> Store (Interval_store.create ~index_attributes ())
 
 let mode_of_engine = function
@@ -34,7 +34,7 @@ let mode_of_engine = function
   | STD -> invalid_arg "Lazy_db: the STD engine keeps no reconstructible state"
 
 let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains
-    ?(durability = `None) () =
+    ?(durability = `None) ?cache_bytes () =
   (match pack_threshold with
   | Some k when k < 1 -> invalid_arg "Lazy_db.create: pack_threshold < 1"
   | _ -> ());
@@ -54,8 +54,8 @@ let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains
       Some
         (Lxu_storage.Wal_store.fresh ~dir ~mode:(mode_of_engine engine) ~index_attributes)
   in
-  { engine; backend = make_backend ~index_attributes engine; pack_threshold; domains;
-    pool = None; durable }
+  { engine; backend = make_backend ~index_attributes ?cache_bytes engine; pack_threshold;
+    domains; pool = None; durable }
 
 let engine t = t.engine
 let domains t = t.domains
@@ -105,7 +105,8 @@ and maybe_pack t =
     let whole = Update_log.materialize log in
     let fresh =
       Update_log.create ~mode:(Update_log.mode log)
-        ~index_attributes:(Update_log.indexes_attributes log) ()
+        ~index_attributes:(Update_log.indexes_attributes log)
+        ~cache_bytes:(Seg_cache.max_bytes (Update_log.cache log)) ()
     in
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
     t.backend <- Log fresh
@@ -166,7 +167,7 @@ let count t ?(axis = Descendant) ?guard ~anc ~desc () =
   | Log log ->
     let jaxis = match axis with Descendant -> Lxu_join.Lazy_join.Descendant | Child -> Lxu_join.Lazy_join.Child in
     let pairs, _ = Lxu_join.Lazy_join.run ~axis:jaxis ?pool:(pool_of t) ?guard log ~anc ~desc () in
-    List.length pairs
+    Array.length pairs
   | Store store ->
     let jaxis = match axis with Descendant -> Lxu_join.Stack_tree_desc.Descendant | Child -> Lxu_join.Stack_tree_desc.Child in
     Lxu_util.Deadline.check_opt guard;
@@ -187,7 +188,10 @@ let rebuild t =
   | Log log ->
     let whole = Update_log.materialize log in
     let mode = Update_log.mode log in
-    let fresh = Update_log.create ~mode ~index_attributes:(Update_log.indexes_attributes log) () in
+    let fresh =
+      Update_log.create ~mode ~index_attributes:(Update_log.indexes_attributes log)
+        ~cache_bytes:(Seg_cache.max_bytes (Update_log.cache log)) ()
+    in
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
     t.backend <- Log fresh;
     log_op t Lxu_storage.Wal.Rebuild
@@ -208,6 +212,11 @@ let pack_subtree t ~gp ~len =
 
 let log t = match t.backend with Log log -> Some log | Store _ -> None
 let store t = match t.backend with Store s -> Some s | Log _ -> None
+
+let cache_stats t =
+  match t.backend with
+  | Log log -> Some (Seg_cache.stats (Update_log.cache log))
+  | Store _ -> None
 
 let size_bytes t =
   match t.backend with

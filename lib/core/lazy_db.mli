@@ -38,6 +38,7 @@ val create :
   ?pack_threshold:int ->
   ?domains:int ->
   ?durability:[ `None | `Wal of string ] ->
+  ?cache_bytes:int ->
   unit ->
   t
 (** An empty database; [engine] defaults to [LD].  With
@@ -66,6 +67,14 @@ val create :
     Auto-packing via [pack_threshold] is {e not} logged: it never
     changes the document text, and recovery reproduces query-visible
     state, not internal segmentation chosen by thresholds.
+
+    [cache_bytes] bounds the lazy engines' read-side element cache
+    (see {!Lxu_seglog.Seg_cache}; default
+    {!Lxu_seglog.Seg_cache.default_max_bytes}, [<= 0] disables it).
+    The setting survives re-indexing ({!rebuild}, [pack_threshold]);
+    ignored by [STD].  Caching never changes results or join
+    statistics — only which fetches hit memory instead of the element
+    index.
     @raise Invalid_argument if [pack_threshold < 1], [domains < 1],
     or [durability] is combined with the [STD] engine (which keeps no
     reconstructible state). *)
@@ -131,6 +140,11 @@ val log : t -> Lxu_seglog.Update_log.t option
 
 val store : t -> Lxu_labeling.Interval_store.t option
 (** The underlying traditional store ([None] for lazy engines). *)
+
+val cache_stats : t -> Lxu_seglog.Seg_cache.stats option
+(** Read-side cache counters of the current log ([None] for [STD]).
+    Counters reset when the log is replaced ({!rebuild}, auto-pack,
+    {!load}, {!recover} — all of which also start the cache cold). *)
 
 val size_bytes : t -> int
 (** Footprint of the index structures (update log, or interval store). *)

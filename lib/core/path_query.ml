@@ -147,6 +147,9 @@ end)
 
 let log_ops ?guard log =
   let reg = Update_log.registry log in
+  (* Folds [f acc ~sid ~start ~stop ~level] over every element of the
+     tag, segment by segment through the columnar cache — no key
+     records are materialized. *)
   let fold_tag tag f init =
     match Tag_registry.find reg tag with
     | None -> init
@@ -154,11 +157,17 @@ let log_ops ?guard log =
       Array.fold_left
         (fun acc (entry : Tag_list.entry) ->
           Lxu_util.Deadline.check_opt guard;
-          Array.fold_left f acc (Update_log.elements_of log ~tid ~sid:entry.Tag_list.sid))
+          let sid = entry.Tag_list.sid in
+          let c : Seg_cache.cols = Update_log.elements_cols log ~tid ~sid in
+          let n = Seg_cache.cols_length c in
+          let acc = ref acc in
+          for i = 0 to n - 1 do
+            acc := f !acc ~sid ~start:c.starts.(i) ~stop:c.stops.(i) ~level:c.levels.(i)
+          done;
+          !acc)
         init
         (Update_log.segments_for_tag log ~tag)
   in
-  let ref_of (k : Element_index.key) = (k.Element_index.sid, k.Element_index.start) in
   let jaxis = function
     | Desc -> Lxu_join.Lazy_join.Descendant
     | Child -> Lxu_join.Lazy_join.Child
@@ -166,47 +175,44 @@ let log_ops ?guard log =
   let join axis ~anc ~desc =
     fst (Lxu_join.Lazy_join.run ~axis:(jaxis axis) ?guard log ~anc ~desc ())
   in
-  let key (r : Lxu_join.Lazy_join.elem_ref) =
-    (r.Lxu_join.Lazy_join.sid, r.Lxu_join.Lazy_join.start)
+  let anc_key (p : Lxu_join.Lazy_join.pair) =
+    (p.Lxu_join.Lazy_join.a_sid, p.Lxu_join.Lazy_join.a_start)
+  and desc_key (p : Lxu_join.Lazy_join.pair) =
+    (p.Lxu_join.Lazy_join.d_sid, p.Lxu_join.Lazy_join.d_start)
   in
   {
-    all = (fun tag -> fold_tag tag (fun acc k -> Ref_set.add (ref_of k) acc) Ref_set.empty);
+    all =
+      (fun tag ->
+        fold_tag tag
+          (fun acc ~sid ~start ~stop:_ ~level:_ -> Ref_set.add (sid, start) acc)
+          Ref_set.empty);
     roots_only =
       (fun tag set ->
         fold_tag tag
-          (fun acc k ->
-            if k.Element_index.level = 0 && Ref_set.mem (ref_of k) set then
-              Ref_set.add (ref_of k) acc
+          (fun acc ~sid ~start ~stop:_ ~level ->
+            if level = 0 && Ref_set.mem (sid, start) set then Ref_set.add (sid, start) acc
             else acc)
           Ref_set.empty);
     up =
       (fun axis ~anc ~desc set ->
-        List.fold_left
-          (fun acc { Lxu_join.Lazy_join.anc = a; desc = d } ->
-            if Ref_set.mem (key d) set then Ref_set.add (key a) acc else acc)
+        Array.fold_left
+          (fun acc p ->
+            if Ref_set.mem (desc_key p) set then Ref_set.add (anc_key p) acc else acc)
           Ref_set.empty (join axis ~anc ~desc));
     down =
       (fun axis ~anc set ~desc ->
-        List.fold_left
-          (fun acc { Lxu_join.Lazy_join.anc = a; desc = d } ->
-            if Ref_set.mem (key a) set then Ref_set.add (key d) acc else acc)
+        Array.fold_left
+          (fun acc p ->
+            if Ref_set.mem (anc_key p) set then Ref_set.add (desc_key p) acc else acc)
           Ref_set.empty (join axis ~anc ~desc));
     inter = Ref_set.inter;
     extents =
       (fun tag set ->
         fold_tag tag
-          (fun acc k ->
-            if Ref_set.mem (ref_of k) set then begin
-              let node = Update_log.node_of_sid log k.Element_index.sid in
-              let e =
-                {
-                  Er_node.start = k.Element_index.start;
-                  stop = k.Element_index.stop;
-                  level = k.Element_index.level;
-                  tid = k.Element_index.tid;
-                }
-              in
-              Er_node.global_extent node e :: acc
+          (fun acc ~sid ~start ~stop ~level:_ ->
+            if Ref_set.mem (sid, start) set then begin
+              let node = Update_log.node_of_sid log sid in
+              Er_node.global_extent_span node ~start ~stop :: acc
             end
             else acc)
           []

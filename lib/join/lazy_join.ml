@@ -3,8 +3,19 @@ open Lxu_seglog
 
 type axis = Descendant | Child
 
-type elem_ref = { sid : int; start : int; stop : int; level : int }
-type pair = { anc : elem_ref; desc : elem_ref }
+(* One flat block of eight immediate fields per pair — no nested
+   element records, so materializing N pairs allocates N+1 blocks
+   rather than 3N+1 and the GC never chases intra-pair pointers. *)
+type pair = {
+  a_sid : int;
+  a_start : int;
+  a_stop : int;
+  a_level : int;
+  d_sid : int;
+  d_start : int;
+  d_stop : int;
+  d_level : int;
+}
 
 type stats = {
   mutable a_segments : int;
@@ -42,9 +53,10 @@ let add_stats into s =
 type frame = {
   node : Er_node.t;
   depth : int;  (* ER-tree depth: index of [node.sid] in any descendant's path *)
-  mutable elems : elem_ref array;
+  mutable elems : Seg_cache.cols;
       (* candidate A-elements, by start; replaced (never mutated in
-         place) so join units that captured an earlier version keep it *)
+         place) so join units that captured an earlier version keep it
+         — and so that cache-owned snapshots stay pristine *)
 }
 
 let contains_seg (a : Er_node.t) (d : Er_node.t) =
@@ -64,78 +76,209 @@ let p_of_frame log fr (path : int array) =
   if i + 1 >= Array.length path || path.(i) <> fr.node.Er_node.sid then raise Not_found
   else (Update_log.node_of_sid log path.(i + 1)).Er_node.lp
 
-(* Order-preserving filter that returns the input array untouched when
-   nothing is dropped — the common case on the push path. *)
-let array_filter keep a =
-  let n = Array.length a in
+(* Order-preserving index filter that returns the input columns
+   untouched when nothing is dropped — the common case on the push
+   path.  Always copies when it does drop: snapshots may be shared
+   with the cache and with captured join units. *)
+let cols_filter keep (c : Seg_cache.cols) =
+  let n = Seg_cache.cols_length c in
   let kept = ref 0 in
   let mask = Bytes.make n '\000' in
   for i = 0 to n - 1 do
-    if keep a.(i) then begin
+    if keep i then begin
       Bytes.unsafe_set mask i '\001';
       incr kept
     end
   done;
-  if !kept = n then a
-  else if !kept = 0 then [||]
+  if !kept = n then c
+  else if !kept = 0 then Seg_cache.empty_cols
   else begin
-    let r = Array.make !kept a.(0) in
+    let starts = Array.make !kept 0
+    and stops = Array.make !kept 0
+    and levels = Array.make !kept 0 in
     let j = ref 0 in
     for i = 0 to n - 1 do
       if Bytes.unsafe_get mask i = '\001' then begin
-        r.(!j) <- a.(i);
+        starts.(!j) <- c.starts.(i);
+        stops.(!j) <- c.stops.(i);
+        levels.(!j) <- c.levels.(i);
         incr j
       end
     done;
-    r
+    { Seg_cache.starts; stops; levels }
   end
 
-(* Stack-Tree-Desc specialized to elem_ref arrays of one segment
-   (virtual local labels), emitting pairs through [emit].  Avoids any
-   conversion to and from interval records on the hot output path; the
-   ancestor stack is a growable array indexed by [top], so the inner
-   loop allocates nothing per push/pop.  [guard] is checked once per
-   merge step, so a cancel or deadline stops a large in-segment join
-   mid-scan. *)
-let in_segment_join ?guard ~axis ~anc ~desc ~emit () =
-  let n_a = Array.length anc and n_d = Array.length desc in
+(* Growable flat output buffer: 8 ints per pair
+   [a_sid; a_start; a_stop; a_level; d_sid; d_start; d_stop; d_level].
+   The kernels' inner loops write plain ints here — no pair or
+   elem_ref records are allocated per element; the record form is
+   built once at the API boundary. *)
+(* Chunked flat output buffer: 8 ints per pair
+   [a_sid; a_start; a_stop; a_level; d_sid; d_start; d_stop; d_level],
+   written into fixed chunks that are never re-grown — a growable
+   array would alloc+zero+copy its whole prefix on every doubling
+   round, which dominates emission cost once the buffer outgrows the
+   minor heap.  Chunk sizes escalate 256 → … → 65536 ints so small
+   join units stay small and big ones amortize.  [full] holds
+   completely-filled chunks in reverse push order (chunk sizes are
+   multiples of 8 and pushes advance by 8, so rotation happens exactly
+   at capacity). *)
+type buf = {
+  mutable full : int array list;
+  mutable spare : int array list;
+      (* chunks handed back by [buf_reset], smallest first — chunks
+         larger than 256 words live on the major heap, so recycling
+         them across runs is what makes repeated queries
+         allocation-light *)
+  mutable cur : int array;
+  mutable cur_len : int;
+  mutable total : int;  (* ints across [full] and [cur] *)
+}
+
+let buf_create () = { full = []; spare = []; cur = [||]; cur_len = 0; total = 0 }
+
+(* Rewinds for reuse: every chunk the run filled becomes spare
+   capacity for the next run.  [full] is reverse push order
+   (largest-first), so the rebuilt spare list is smallest-first,
+   matching the escalation order [buf_grow] re-consumes them in. *)
+let buf_reset b =
+  b.spare <- List.rev_append b.full (if Array.length b.cur > 0 then [ b.cur ] else b.spare);
+  b.full <- [];
+  b.cur <- [||];
+  b.cur_len <- 0;
+  b.total <- 0
+
+let buf_grow b =
+  if b.cur_len > 0 then b.full <- b.cur :: b.full;
+  (match b.spare with
+  | c :: rest ->
+    b.cur <- c;
+    b.spare <- rest
+  | [] -> b.cur <- Array.make (max 256 (min 65536 (2 * Array.length b.cur))) 0);
+  b.cur_len <- 0
+
+let buf_push8 b x0 x1 x2 x3 x4 x5 x6 x7 =
+  if b.cur_len + 8 > Array.length b.cur then buf_grow b;
+  let d = b.cur and o = b.cur_len in
+  Array.unsafe_set d o x0;
+  Array.unsafe_set d (o + 1) x1;
+  Array.unsafe_set d (o + 2) x2;
+  Array.unsafe_set d (o + 3) x3;
+  Array.unsafe_set d (o + 4) x4;
+  Array.unsafe_set d (o + 5) x5;
+  Array.unsafe_set d (o + 6) x6;
+  Array.unsafe_set d (o + 7) x7;
+  b.cur_len <- o + 8;
+  b.total <- b.total + 8
+
+(* Materializes the pair records for a sequence of buffers in order —
+   the single conversion at the API boundary, shared by the sequential
+   (one buffer) and pool (one buffer per join unit, unit order) paths. *)
+type scratch = buf
+
+let scratch = buf_create
+
+let bufs_to_pairs bufs =
+  let total = List.fold_left (fun acc b -> acc + b.total) 0 bufs in
+  let n = total / 8 in
+  if n = 0 then [||]
+  else begin
+    let out =
+      Array.make n
+        {
+          a_sid = 0;
+          a_start = 0;
+          a_stop = 0;
+          a_level = 0;
+          d_sid = 0;
+          d_start = 0;
+          d_stop = 0;
+          d_level = 0;
+        }
+    in
+    let k = ref 0 in
+    let emit data len =
+      let o = ref 0 in
+      while !o < len do
+        let p = !o in
+        Array.unsafe_set out !k
+          {
+            a_sid = Array.unsafe_get data p;
+            a_start = Array.unsafe_get data (p + 1);
+            a_stop = Array.unsafe_get data (p + 2);
+            a_level = Array.unsafe_get data (p + 3);
+            d_sid = Array.unsafe_get data (p + 4);
+            d_start = Array.unsafe_get data (p + 5);
+            d_stop = Array.unsafe_get data (p + 6);
+            d_level = Array.unsafe_get data (p + 7);
+          };
+        incr k;
+        o := p + 8
+      done
+    in
+    List.iter
+      (fun b ->
+        List.iter (fun c -> emit c (Array.length c)) (List.rev b.full);
+        emit b.cur b.cur_len)
+      bufs;
+    out
+  end
+
+(* Stack-Tree-Desc specialized to the columnar element snapshots of one
+   segment (virtual local labels), emitting index pairs through [emit].
+   The ancestor stack holds plain indices into [anc] in a growable int
+   array, so the merge loop allocates nothing at all.  [guard] is
+   checked once per merge step, so a cancel or deadline stops a large
+   in-segment join mid-scan. *)
+let in_segment_join ?guard ~axis ~(anc : Seg_cache.cols) ~(desc : Seg_cache.cols) ~emit () =
+  let n_a = Seg_cache.cols_length anc and n_d = Seg_cache.cols_length desc in
   if n_a > 0 && n_d > 0 then begin
-    let stack = ref (Array.make (min 16 n_a) anc.(0)) in
+    let stack = ref (Array.make (min 16 n_a) 0) in
     let top = ref 0 in
-    let push a =
+    let push ai =
       if !top = Array.length !stack then begin
-        let bigger = Array.make (2 * !top) a in
+        let bigger = Array.make (2 * !top) 0 in
         Array.blit !stack 0 bigger 0 !top;
         stack := bigger
       end;
-      !stack.(!top) <- a;
+      !stack.(!top) <- ai;
       incr top
     in
     let ia = ref 0 and id = ref 0 in
     while !id < n_d && (!ia < n_a || !top > 0) do
       Deadline.check_opt guard;
-      let d = desc.(!id) in
-      let a_start = if !ia < n_a then anc.(!ia).start else max_int in
-      if a_start < d.start then begin
-        let a = anc.(!ia) in
-        while !top > 0 && (!stack).(!top - 1).stop <= a.start do
+      let d_start = Array.unsafe_get desc.starts !id in
+      let a_start = if !ia < n_a then Array.unsafe_get anc.starts !ia else max_int in
+      if a_start < d_start then begin
+        while
+          !top > 0
+          && Array.unsafe_get anc.stops (Array.unsafe_get !stack (!top - 1)) <= a_start
+        do
           decr top
         done;
-        push a;
+        push !ia;
         incr ia
       end
       else begin
-        while !top > 0 && (!stack).(!top - 1).stop <= d.start do
+        while
+          !top > 0
+          && Array.unsafe_get anc.stops (Array.unsafe_get !stack (!top - 1)) <= d_start
+        do
           decr top
         done;
         (* Innermost (most recently pushed) ancestor first, matching
            the emission order of the list-stack original. *)
-        for j = !top - 1 downto 0 do
-          let a = (!stack).(j) in
-          match axis with
-          | Descendant -> emit a d
-          | Child -> if d.level = a.level + 1 then emit a d
-        done;
+        (match axis with
+        | Descendant ->
+          for j = !top - 1 downto 0 do
+            emit (Array.unsafe_get !stack j) !id
+          done
+        | Child ->
+          let dl = Array.unsafe_get desc.levels !id in
+          for j = !top - 1 downto 0 do
+            let ai = Array.unsafe_get !stack j in
+            if dl = Array.unsafe_get anc.levels ai + 1 then emit ai !id
+          done);
         incr id
       end
     done
@@ -144,49 +287,98 @@ let in_segment_join ?guard ~axis ~anc ~desc ~emit () =
 (* One unit of join generation (everything Step 3 of Figure 9 needs
    for one SL_D entry), produced by the sequential segment-merge pass
    and executable on any domain: it captures plain integers and
-   immutable element arrays, and its execution touches the log only
-   through the read-only element index. *)
+   immutable columnar snapshots, and its execution touches the log
+   only through the read-only element index — or not at all, when the
+   merge pass pre-resolved its snapshots ([d_pre]/[a_pre]) through the
+   cache.  Pre-resolution is what keeps worker domains away from the
+   cache's LRU bookkeeping. *)
 type d_task = {
   d_sid : int;
-  cross : (int * elem_ref array) list;
-      (* (P_T^S, surviving A-elements) per stack frame, top first *)
+  cross : (int * int * Seg_cache.cols) list;
+      (* (P_T^S, ancestor sid, surviving A-elements) per stack frame, top first *)
   in_seg : bool;  (* the same segment holds both tags *)
+  mutable d_pre : Seg_cache.cols option;
+  mutable a_pre : Seg_cache.cols option;
 }
 
 (* Runs one task: cross-segment emission (Proposition 3), then the
    in-segment join.  [stats] and [out] are owned by the caller — under
-   the pool each chunk gets its own, merged afterwards.  [guard] is
-   checked at task entry and per cross frame, so a parallel join
-   observes a cancel within one pool chunk — every task of a chunk
-   re-checks before doing work. *)
+   the pool each chunk gets its own, merged afterwards.  D-elements
+   are resolved on first use (and counted then, whether pre-resolved
+   or fetched), preserving the lazy fetch accounting of the
+   list-based implementation exactly.  [guard] is checked at task
+   entry and per cross frame, so a parallel join observes a cancel
+   within one pool chunk. *)
 let exec_task ?guard ~axis ~fetch_a ~fetch_d ~stats ~out task =
   Deadline.check_opt guard;
-  let d_elems = lazy (fetch_d task.d_sid) in
+  let d_got = ref None in
+  let get_d () =
+    match !d_got with
+    | Some c -> c
+    | None ->
+      let c =
+        match task.d_pre with
+        | Some c ->
+          stats.elements_fetched <- stats.elements_fetched + Seg_cache.cols_length c;
+          c
+        | None -> fetch_d task.d_sid
+      in
+      d_got := Some c;
+      c
+  in
   List.iter
-    (fun (p, elems) ->
+    (fun (p, a_sid, (a : Seg_cache.cols)) ->
       Deadline.check_opt guard;
-      Array.iter
-        (fun (a : elem_ref) ->
-          if a.start < p && a.stop > p then
-            Array.iter
-              (fun (d : elem_ref) ->
-                let level_ok =
-                  match axis with
-                  | Descendant -> true
-                  | Child -> d.level = a.level + 1
-                in
-                if level_ok then begin
-                  Vec.push out { anc = a; desc = d };
-                  stats.cross_pairs <- stats.cross_pairs + 1
-                end)
-              (Lazy.force d_elems))
-        elems)
+      let n_a = Seg_cache.cols_length a in
+      for i = 0 to n_a - 1 do
+        if Array.unsafe_get a.starts i < p && Array.unsafe_get a.stops i > p then begin
+          let d = get_d () in
+          let n_d = Seg_cache.cols_length d in
+          let a_start = Array.unsafe_get a.starts i
+          and a_stop = Array.unsafe_get a.stops i
+          and a_level = Array.unsafe_get a.levels i in
+          match axis with
+          | Descendant ->
+            for j = 0 to n_d - 1 do
+              buf_push8 out a_sid a_start a_stop a_level task.d_sid
+                (Array.unsafe_get d.starts j)
+                (Array.unsafe_get d.stops j)
+                (Array.unsafe_get d.levels j)
+            done;
+            stats.cross_pairs <- stats.cross_pairs + n_d
+          | Child ->
+            let child_level = a_level + 1 in
+            for j = 0 to n_d - 1 do
+              if Array.unsafe_get d.levels j = child_level then begin
+                buf_push8 out a_sid a_start a_stop a_level task.d_sid
+                  (Array.unsafe_get d.starts j)
+                  (Array.unsafe_get d.stops j)
+                  (Array.unsafe_get d.levels j);
+                stats.cross_pairs <- stats.cross_pairs + 1
+              end
+            done
+        end
+      done)
     task.cross;
   if task.in_seg then begin
-    let a_elems = fetch_a task.d_sid in
-    in_segment_join ?guard ~axis ~anc:a_elems ~desc:(Lazy.force d_elems)
-      ~emit:(fun a d ->
-        Vec.push out { anc = a; desc = d };
+    let a =
+      match task.a_pre with
+      | Some c ->
+        stats.elements_fetched <- stats.elements_fetched + Seg_cache.cols_length c;
+        c
+      | None -> fetch_a task.d_sid
+    in
+    let d = get_d () in
+    in_segment_join ?guard ~axis ~anc:a ~desc:d
+      ~emit:(fun ai di ->
+        buf_push8 out task.d_sid
+          (Array.unsafe_get a.starts ai)
+          (Array.unsafe_get a.stops ai)
+          (Array.unsafe_get a.levels ai)
+          task.d_sid
+          (Array.unsafe_get d.starts di)
+          (Array.unsafe_get d.stops di)
+          (Array.unsafe_get d.levels di);
         stats.in_pairs <- stats.in_pairs + 1)
       ()
   end
@@ -194,8 +386,8 @@ let exec_task ?guard ~axis ~fetch_a ~fetch_d ~stats ~out task =
 (* The segment-merge pass of Figure 9 (steps 1-3): walks SL_A and SL_D
    by global position with the segment stack and hands every surviving
    SL_D entry to [emit_task] as a self-contained work unit.  All
-   ER-tree and tag-list access happens here, on the calling thread;
-   only element-index reads are deferred to the tasks. *)
+   ER-tree, tag-list and cache access happens here, on the calling
+   thread; only element-index reads are deferred to the tasks. *)
 let plan ?guard ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld () =
   let stack = ref [] in
   let ia = ref 0 and id = ref 0 in
@@ -221,22 +413,39 @@ let plan ?guard ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld 
            disjoint from everything at or after sd). *)
         stats.a_segments <- stats.a_segments + 1;
         if contains_seg sa sd_node then begin
+          let base : Seg_cache.cols = fetch_a sa.Er_node.sid in
           (* Optimization (i): keep only A-elements that contain at
-             least one child-segment position. *)
-          let keep (r : elem_ref) =
-            (not push_filter)
-            || Vec.exists
-                 (fun (c : Er_node.t) -> r.start < c.Er_node.lp && c.Er_node.lp < r.stop)
-                 sa.Er_node.children
+             least one child-segment position.  Children are kept in
+             document order, so the smallest hook position above
+             [start] — found by binary search — decides containment
+             without scanning the whole child list per element. *)
+          let elems =
+            if not push_filter then base
+            else begin
+              let kids = sa.Er_node.children in
+              let nk = Vec.length kids in
+              if nk = 0 then Seg_cache.empty_cols
+              else
+                cols_filter
+                  (fun i ->
+                    let s = base.starts.(i) in
+                    let j =
+                      Vec.lower_bound kids ~compare:(fun (c : Er_node.t) ->
+                          if c.Er_node.lp <= s then -1 else 1)
+                    in
+                    j < nk && (Vec.get kids j).Er_node.lp < base.stops.(i))
+                  base
+            end
           in
-          let elems = array_filter keep (fetch_a sa.Er_node.sid) in
           (* Optimization (ii): drop from the current top the
              elements that end at or before the position of sa —
              they cannot contain sa or any later segment. *)
           (match !stack with
           | top :: _ when trim_top -> begin
             match p_of_frame log top (Er_node.path sa) with
-            | p -> top.elems <- array_filter (fun (r : elem_ref) -> r.stop > p) top.elems
+            | p ->
+              let e = top.elems in
+              top.elems <- cols_filter (fun i -> e.Seg_cache.stops.(i) > p) e
             | exception Not_found -> ()
           end
           | _ -> ());
@@ -255,10 +464,10 @@ let plan ?guard ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld 
         let cross =
           List.filter_map
             (fun fr ->
-              if Array.length fr.elems = 0 then None
+              if Seg_cache.cols_length fr.elems = 0 then None
               else
                 match p_of_frame log fr sd_entry.Tag_list.path with
-                | p -> Some (p, fr.elems)
+                | p -> Some (p, fr.node.Er_node.sid, fr.elems)
                 | exception Not_found -> None)
             !stack
         in
@@ -269,37 +478,30 @@ let plan ?guard ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld 
         in
         if in_seg then stats.in_segment_joins <- stats.in_segment_joins + 1;
         if cross <> [] || in_seg then
-          emit_task { d_sid = sd_node.Er_node.sid; cross; in_seg };
+          emit_task { d_sid = sd_node.Er_node.sid; cross; in_seg; d_pre = None; a_pre = None };
         stats.d_segments <- stats.d_segments + 1;
         incr id)
   done
 
-let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool ?guard log
-    ~anc ~desc () =
+let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool ?guard
+    ?scratch log ~anc ~desc () =
   let stats = zero_stats () in
   Deadline.check_opt guard;
   Update_log.prepare_for_query log;
   let reg = Update_log.registry log in
   match (Tag_registry.find reg anc, Tag_registry.find reg desc) with
-  | None, _ | _, None -> ([], stats)
+  | None, _ | _, None -> ([||], stats)
   | Some tid_a, Some tid_d ->
     let sla = Update_log.segments_for_tag log ~tag:anc in
     let sld = Update_log.segments_for_tag log ~tag:desc in
-    (* Elements of one tag in one segment, converted to refs once; the
-       refs are then shared by every emitted pair.  [into] receives the
-       fetch count — the per-chunk stats record under the pool. *)
+    (* Columnar elements of one tag in one segment, resolved through
+       the log's cache; the snapshots are then shared by every emitted
+       pair.  [into] receives the fetch count — the per-chunk stats
+       record under the pool. *)
     let fetch tid into sid =
-      let keys = Update_log.elements_of log ~tid ~sid in
-      into.elements_fetched <- into.elements_fetched + Array.length keys;
-      Array.map
-        (fun (k : Element_index.key) ->
-          {
-            sid = k.Element_index.sid;
-            start = k.Element_index.start;
-            stop = k.Element_index.stop;
-            level = k.Element_index.level;
-          })
-        keys
+      let c = Update_log.elements_cols log ~tid ~sid in
+      into.elements_fetched <- into.elements_fetched + Seg_cache.cols_length c;
+      c
     in
     let parallel =
       match pool with
@@ -308,51 +510,66 @@ let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool ?gua
     in
     (match parallel with
     | None ->
-      (* Sequential: execute each join unit as the merge produces it. *)
-      let out = Vec.create () in
+      (* Sequential: execute each join unit as the merge produces it.
+         With [?scratch] the output chunks of the previous run are
+         recycled, so a warm repeated query allocates no fresh buffer
+         storage. *)
+      let out =
+        match scratch with
+        | Some b ->
+          buf_reset b;
+          b
+        | None -> buf_create ()
+      in
       plan ?guard ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
         ~emit_task:
           (exec_task ?guard ~axis ~fetch_a:(fetch tid_a stats)
              ~fetch_d:(fetch tid_d stats) ~stats ~out)
         log ~sla ~sld ();
-      (Vec.to_list out, stats)
+      (bufs_to_pairs [ out ], stats)
     | Some p ->
       (* Parallel: the merge pass collects the join units, the pool
          executes them with per-task output buffers and stats, and the
          merge below re-reads both in task order — so pairs come out
          byte-identical to the sequential path and stats totals are
-         exact, not approximate.  Each task re-checks [guard], so a
-         cancel aborts the pool run within one chunk: the first task
-         to observe it raises, the pool abandons unclaimed chunks, and
-         [Domain_pool.map] re-raises here. *)
+         exact, not approximate.  With the cache enabled, the merge
+         pass also pre-resolves each task's snapshots here on the
+         calling thread (uncounted — tasks count at first use), so
+         worker domains never touch the cache.  With it disabled,
+         workers read the element index directly, as before.  Each
+         task re-checks [guard], so a cancel aborts the pool run
+         within one chunk. *)
+      let cache_on = Seg_cache.enabled (Update_log.cache log) in
       let tasks = Vec.create () in
+      let collect (t : d_task) =
+        if cache_on then begin
+          t.d_pre <- Some (Update_log.elements_cols log ~tid:tid_d ~sid:t.d_sid);
+          if t.in_seg then
+            t.a_pre <- Some (Update_log.elements_cols log ~tid:tid_a ~sid:t.d_sid)
+        end;
+        Vec.push tasks t
+      in
       plan ?guard ~push_filter ~trim_top ~stats ~fetch_a:(fetch tid_a stats)
-        ~emit_task:(Vec.push tasks) log ~sla ~sld ();
+        ~emit_task:collect log ~sla ~sld ();
       let tasks = Vec.to_array tasks in
       let results =
         Domain_pool.map p (Array.length tasks) (fun i ->
             let lstats = zero_stats () in
-            let out = Vec.create () in
+            let out = buf_create () in
             exec_task ?guard ~axis ~fetch_a:(fetch tid_a lstats)
               ~fetch_d:(fetch tid_d lstats) ~stats:lstats ~out tasks.(i);
             (out, lstats))
       in
-      let acc = ref [] in
-      for i = Array.length results - 1 downto 0 do
-        let out, _ = results.(i) in
-        for j = Vec.length out - 1 downto 0 do
-          acc := Vec.get out j :: !acc
-        done
-      done;
       Array.iter (fun (_, lstats) -> add_stats stats lstats) results;
-      (!acc, stats))
+      (bufs_to_pairs (Array.to_list (Array.map fst results)), stats))
 
 let global_pairs log pairs =
-  let gstart (r : elem_ref) =
-    let node = Update_log.node_of_sid log r.sid in
-    let e = { Er_node.start = r.start; stop = r.stop; level = r.level; tid = 0 } in
-    fst (Er_node.global_extent node e)
+  let gstart sid ~start ~stop =
+    let node = Update_log.node_of_sid log sid in
+    fst (Er_node.global_extent_span node ~start ~stop)
   in
-  pairs
-  |> List.map (fun { anc; desc } -> (gstart anc, gstart desc))
+  Array.to_list pairs
+  |> List.map (fun p ->
+         ( gstart p.a_sid ~start:p.a_start ~stop:p.a_stop,
+           gstart p.d_sid ~start:p.d_start ~stop:p.d_stop ))
   |> List.sort (fun (a1, d1) (a2, d2) -> compare (d1, a1) (d2, a2))

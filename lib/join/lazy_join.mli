@@ -25,14 +25,35 @@
     cross-segment emission in chunks, each with its own output buffer
     and stats record, merged back in unit order.  Pairs and stats are
     therefore identical to the sequential path — order included —
-    regardless of pool size or schedule. *)
+    regardless of pool size or schedule.
+
+    Element sets are fetched through the log's
+    {!Lxu_seglog.Seg_cache} as columnar struct-of-arrays snapshots,
+    and the join kernels run directly on those unboxed [int array]s,
+    writing results into a flat integer buffer: the inner loops
+    allocate nothing per element.  [pair] records are built once at
+    the API boundary.  Under a pool with the cache enabled, each
+    unit's snapshots are pre-resolved during the (sequential) merge
+    pass, so worker domains never touch the cache's bookkeeping —
+    with the cache disabled they read the element index directly, as
+    before. *)
 
 type axis = Descendant | Child
 
-type elem_ref = { sid : int; start : int; stop : int; level : int }
-(** An element as (segment, virtual extent, absolute level). *)
-
-type pair = { anc : elem_ref; desc : elem_ref }
+type pair = {
+  a_sid : int;
+  a_start : int;
+  a_stop : int;
+  a_level : int;
+  d_sid : int;
+  d_start : int;
+  d_stop : int;
+  d_level : int;
+}
+(** One ancestor/descendant result: each side is (segment, virtual
+    extent, absolute level).  A single flat block of immediate fields
+    — materializing a result array allocates one small block per pair
+    and nothing the GC has to trace into. *)
 
 type stats = {
   mutable a_segments : int;  (** SL_A entries consumed *)
@@ -46,17 +67,31 @@ type stats = {
   mutable elements_fetched : int;  (** element-index records read *)
 }
 
+type scratch
+(** Reusable output-buffer storage for {!run}.  The join writes
+    results into fixed-size integer chunks; chunks above 256 words are
+    major-heap allocations, so a caller issuing many queries can hand
+    the same scratch to each sequential [run] and the chunks are
+    recycled instead of re-allocated — repeated warm queries then add
+    no buffer garbage.  A scratch must not be shared between
+    concurrent runs; it is rewound (not read) on entry, so reuse never
+    affects results. *)
+
+val scratch : unit -> scratch
+(** A fresh, empty scratch. *)
+
 val run :
   ?axis:axis ->
   ?push_filter:bool ->
   ?trim_top:bool ->
   ?pool:Lxu_util.Domain_pool.t ->
   ?guard:Lxu_util.Deadline.guard ->
+  ?scratch:scratch ->
   Lxu_seglog.Update_log.t ->
   anc:string ->
   desc:string ->
   unit ->
-  pair list * stats
+  pair array * stats
 (** [run log ~anc ~desc ()] evaluates the path expression
     [anc//desc] (or [anc/desc] with [~axis:Child]), returning pairs
     ordered by descendant segment.
@@ -72,6 +107,10 @@ val run :
     (see the module comment); omitted, or with a pool of size 1, the
     run is fully sequential.  Results never depend on the choice.
 
+    [scratch] recycles output-buffer chunks across sequential runs
+    (see {!type:scratch}); it is ignored when the run goes parallel,
+    where each task owns a private buffer.
+
     [guard] makes the join cooperative: the segment-merge loop, every
     join unit, and every in-segment merge step call
     {!Lxu_util.Deadline.check}, so the run raises
@@ -80,7 +119,7 @@ val run :
     chunk.  Without [guard] the run is exactly the ungoverned join:
     identical pairs and stats, one extra branch per check point. *)
 
-val global_pairs : Lxu_seglog.Update_log.t -> pair list -> (int * int) list
+val global_pairs : Lxu_seglog.Update_log.t -> pair array -> (int * int) list
 (** Translates pairs to [(anc_gstart, desc_gstart)] global positions,
     sorted by [(desc, anc)] — the canonical form for comparing against
     the classical algorithms. *)

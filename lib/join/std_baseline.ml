@@ -1,3 +1,4 @@
+open Lxu_util
 open Lxu_seglog
 open Lxu_labeling
 
@@ -11,34 +12,41 @@ let global_list_counted log ~tag stats =
   match Tag_registry.find reg tag with
   | None -> [||]
   | Some tid ->
-    let acc = ref [] in
+    let acc = Vec.create () in
     Array.iter
       (fun (entry : Tag_list.entry) ->
         let node = Update_log.node_of_sid log entry.Tag_list.sid in
-        Array.iter
-          (fun (k : Element_index.key) ->
-            (match stats with
-            | Some s -> s.elements_read <- s.elements_read + 1
-            | None -> ());
-            let e =
-              {
-                Er_node.start = k.Element_index.start;
-                stop = k.Element_index.stop;
-                level = k.Element_index.level;
-                tid = k.Element_index.tid;
-              }
-            in
-            let gstart, gstop = Er_node.global_extent node e in
-            acc := Interval.make ~start:gstart ~stop:gstop ~level:k.Element_index.level :: !acc)
-          (Update_log.elements_of log ~tid ~sid:entry.Tag_list.sid))
+        let c : Seg_cache.cols = Update_log.elements_cols log ~tid ~sid:entry.Tag_list.sid in
+        let n = Seg_cache.cols_length c in
+        (match stats with
+        | Some s -> s.elements_read <- s.elements_read + n
+        | None -> ());
+        for i = 0 to n - 1 do
+          let gstart, gstop =
+            Er_node.global_extent_span node ~start:c.starts.(i) ~stop:c.stops.(i)
+          in
+          Vec.push acc (Interval.make ~start:gstart ~stop:gstop ~level:c.levels.(i))
+        done)
       (Update_log.segments_for_tag log ~tag);
-    let a = Array.of_list !acc in
+    let a = Vec.to_array acc in
     Array.sort Interval.compare_start a;
     a
 
 let global_list log ~tag =
   Update_log.prepare_for_query log;
   global_list_counted log ~tag None
+
+let global_cols log ~tag =
+  let a = global_list log ~tag in
+  let n = Array.length a in
+  let starts = Array.make n 0 and stops = Array.make n 0 and levels = Array.make n 0 in
+  Array.iteri
+    (fun i (iv : Interval.t) ->
+      starts.(i) <- iv.Interval.start;
+      stops.(i) <- iv.Interval.stop;
+      levels.(i) <- iv.Interval.level)
+    a;
+  { Seg_cache.starts; stops; levels }
 
 let run ?axis log ~anc ~desc () =
   let stats = { elements_read = 0; pairs = 0 } in

@@ -1,3 +1,4 @@
+open Lxu_util
 open Lxu_btree
 
 type key = { tid : int; sid : int; start : int; stop : int; level : int }
@@ -44,17 +45,33 @@ let remove t k =
 let iter_segment t ~tid ~sid f =
   let lo = { tid; sid; start = min_int; stop = min_int; level = min_int } in
   let touched = ref 0 in
+  (* Only records of the requested (tid, sid) count as accesses: the
+     first key past the segment merely terminates the scan and is not
+     an element read. *)
   T.iter_from t.tree lo (fun k () ->
-      incr touched;
-      if k.tid = tid && k.sid = sid then f k else false);
-  ignore (Atomic.fetch_and_add t.accesses !touched)
+      if k.tid = tid && k.sid = sid then begin
+        incr touched;
+        f k
+      end
+      else false);
+  if !touched > 0 then ignore (Atomic.fetch_and_add t.accesses !touched)
 
 let elements_of_segment t ~tid ~sid =
-  let acc = ref [] in
+  let acc = Vec.create () in
   iter_segment t ~tid ~sid (fun k ->
-      acc := k :: !acc;
+      Vec.push acc k;
       true);
-  Array.of_list (List.rev !acc)
+  Vec.to_array acc
+
+let cols_of_segment t ~tid ~sid =
+  let starts = Vec.create () and stops = Vec.create () and levels = Vec.create () in
+  iter_segment t ~tid ~sid (fun k ->
+      Vec.push starts k.start;
+      Vec.push stops k.stop;
+      Vec.push levels k.level;
+      true);
+  { Seg_cache.starts = Vec.to_array starts; stops = Vec.to_array stops;
+    levels = Vec.to_array levels }
 
 let iter_all t f = T.iter t.tree (fun k () -> f k)
 

@@ -27,6 +27,11 @@ val iter_segment : t -> tid:int -> sid:int -> (key -> bool) -> unit
 
 val elements_of_segment : t -> tid:int -> sid:int -> key array
 
+val cols_of_segment : t -> tid:int -> sid:int -> Seg_cache.cols
+(** Columnar variant of {!elements_of_segment}: the same records as
+    three unboxed [int array]s sorted by [start] — the cache-miss
+    materialization path of {!Seg_cache}. *)
+
 val iter_all : t -> (key -> unit) -> unit
 
 val accesses : t -> int

@@ -108,10 +108,12 @@ let sum_children_upto t x ~incl_eq =
 let phys_of_virt t x =
   t.gp + (x - tombstoned_before t x) + sum_children_upto t x ~incl_eq:true
 
-let global_extent t e =
-  let gstart = t.gp + (e.start - tombstoned_before t e.start) + sum_children_upto t e.start ~incl_eq:true in
-  let gstop = t.gp + (e.stop - tombstoned_before t e.stop) + sum_children_upto t e.stop ~incl_eq:false in
+let global_extent_span t ~start ~stop =
+  let gstart = t.gp + (start - tombstoned_before t start) + sum_children_upto t start ~incl_eq:true in
+  let gstop = t.gp + (stop - tombstoned_before t stop) + sum_children_upto t stop ~incl_eq:false in
   (gstart, gstop)
+
+let global_extent t e = global_extent_span t ~start:e.start ~stop:e.stop
 
 let rec iter_subtree t f =
   f t;

@@ -94,6 +94,10 @@ val global_extent : t -> elem -> int * int
     translation that lets classical join algorithms run on the lazy
     store (§4). *)
 
+val global_extent_span : t -> start:int -> stop:int -> int * int
+(** As {!global_extent}, but on a bare local [(start, stop)] span —
+    the record-free form used by columnar consumers. *)
+
 val iter_subtree : t -> (t -> unit) -> unit
 (** Pre-order traversal of the node and its descendants. *)
 

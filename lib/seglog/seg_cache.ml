@@ -1,0 +1,181 @@
+type cols = { starts : int array; stops : int array; levels : int array }
+
+let empty_cols = { starts = [||]; stops = [||]; levels = [||] }
+let cols_length c = Array.length c.starts
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  invalidations : int;
+  stale_drops : int;
+  entries : int;
+  bytes : int;
+  max_bytes : int;
+}
+
+(* Intrusive doubly-linked LRU: [head] is the hot (MRU) end, [tail]
+   the cold end.  Every mutation happens under [mu]. *)
+type entry = {
+  e_tid : int;
+  e_sid : int;
+  e_cols : cols;
+  e_bytes : int;
+  e_epoch : int;
+  mutable prev : entry option;  (* toward head *)
+  mutable next : entry option;  (* toward tail *)
+}
+
+type t = {
+  limit : int;
+  mu : Mutex.t;
+  tbl : (int * int, entry) Hashtbl.t;
+  epochs : (int, int) Hashtbl.t;  (* sid -> current epoch *)
+  mutable head : entry option;
+  mutable tail : entry option;
+  mutable bytes : int;
+  mutable lookups : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable invalidations : int;
+  mutable stale_drops : int;
+}
+
+let default_max_bytes () =
+  match Sys.getenv_opt "LXU_CACHE_BYTES" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with Some b -> b | None -> 64 * 1024 * 1024)
+  | None -> 64 * 1024 * 1024
+
+let create ?max_bytes () =
+  let limit = match max_bytes with Some b -> b | None -> default_max_bytes () in
+  {
+    limit;
+    mu = Mutex.create ();
+    tbl = Hashtbl.create 256;
+    epochs = Hashtbl.create 64;
+    head = None;
+    tail = None;
+    bytes = 0;
+    lookups = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+    invalidations = 0;
+    stale_drops = 0;
+  }
+
+let enabled t = t.limit > 0
+let max_bytes t = t.limit
+
+(* Three unboxed int arrays (header + payload) plus the entry record,
+   hash slot and LRU links — close enough for a budget, and what the
+   eviction tests assert against. *)
+let entry_bytes n = (3 * ((n * 8) + 24)) + 96
+
+let epoch_of t sid = Option.value ~default:0 (Hashtbl.find_opt t.epochs sid)
+
+let unlink t e =
+  (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front t e =
+  e.prev <- None;
+  e.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+  t.head <- Some e
+
+let drop t e =
+  unlink t e;
+  Hashtbl.remove t.tbl (e.e_tid, e.e_sid);
+  t.bytes <- t.bytes - e.e_bytes
+
+let find t ~tid ~sid =
+  if t.limit <= 0 then None
+  else begin
+    Mutex.lock t.mu;
+    t.lookups <- t.lookups + 1;
+    let r =
+      match Hashtbl.find_opt t.tbl (tid, sid) with
+      | None ->
+        t.misses <- t.misses + 1;
+        None
+      | Some e when e.e_epoch <> epoch_of t sid ->
+        drop t e;
+        t.stale_drops <- t.stale_drops + 1;
+        t.misses <- t.misses + 1;
+        None
+      | Some e ->
+        t.hits <- t.hits + 1;
+        if t.head != Some e then begin
+          unlink t e;
+          push_front t e
+        end;
+        Some e.e_cols
+    in
+    Mutex.unlock t.mu;
+    r
+  end
+
+let add t ~tid ~sid cols =
+  if t.limit > 0 then begin
+    let b = entry_bytes (cols_length cols) in
+    Mutex.lock t.mu;
+    (match Hashtbl.find_opt t.tbl (tid, sid) with Some old -> drop t old | None -> ());
+    (* An oversize snapshot would evict everything and still not fit:
+       skip it rather than thrash the whole cache. *)
+    if b <= t.limit then begin
+      let e =
+        { e_tid = tid; e_sid = sid; e_cols = cols; e_bytes = b; e_epoch = epoch_of t sid;
+          prev = None; next = None }
+      in
+      Hashtbl.replace t.tbl (tid, sid) e;
+      push_front t e;
+      t.bytes <- t.bytes + b;
+      while t.bytes > t.limit do
+        match t.tail with
+        | Some cold ->
+          drop t cold;
+          t.evictions <- t.evictions + 1
+        | None -> assert false (* bytes > 0 implies a tail *)
+      done
+    end;
+    Mutex.unlock t.mu
+  end
+
+let invalidate_segment t ~sid =
+  if t.limit > 0 then begin
+    Mutex.lock t.mu;
+    Hashtbl.replace t.epochs sid (epoch_of t sid + 1);
+    t.invalidations <- t.invalidations + 1;
+    Mutex.unlock t.mu
+  end
+
+let clear t =
+  Mutex.lock t.mu;
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None;
+  t.bytes <- 0;
+  Mutex.unlock t.mu
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      lookups = t.lookups;
+      hits = t.hits;
+      misses = t.misses;
+      evictions = t.evictions;
+      invalidations = t.invalidations;
+      stale_drops = t.stale_drops;
+      entries = Hashtbl.length t.tbl;
+      bytes = t.bytes;
+      max_bytes = t.limit;
+    }
+  in
+  Mutex.unlock t.mu;
+  s

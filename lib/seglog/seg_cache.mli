@@ -1,0 +1,91 @@
+(** Columnar per-[(tid, sid)] element cache (read-side).
+
+    The join hot path used to re-materialize every surviving segment's
+    element set from the element-index B{^+}-tree on {e every} query —
+    an [iter_from] scan into boxed key records, per segment, per query.
+    In the spirit of the paper's laziness, this cache pays that
+    materialization once and reuses it until an update actually soils
+    the segment: each entry is an immutable struct-of-arrays snapshot
+    ([starts]/[stops]/[levels] as unboxed [int array]s, sorted by
+    start) of one tag's elements inside one segment.
+
+    {b Epoch invalidation.}  The cache keeps a per-segment epoch
+    counter.  {!invalidate_segment} bumps it; entries record the epoch
+    they were filled under and are discarded lazily on their next
+    lookup.  {!Update_log} bumps epochs from [insert] and [remove] for
+    exactly the touched segments — no full flushes, mirroring
+    [Tag_list]'s per-tag dirty bits.  A whole-log rebuild (pack,
+    recovery) creates a fresh log and therefore a fresh, cold cache.
+
+    {b Bounds.}  Entries live on an LRU list under a byte budget
+    ([max_bytes], default {!default_max_bytes}, overridable with the
+    [LXU_CACHE_BYTES] environment variable); inserting past the budget
+    evicts from the cold end.  A budget of [0] (or negative) disables
+    the cache entirely: lookups miss without locking or counting, adds
+    are no-ops — the uncached path stays byte-identical to the
+    pre-cache code, with zero overhead.
+
+    {b Concurrency.}  All operations are serialized by an internal
+    mutex, so concurrent [Shared_db] readers may fetch through the
+    cache safely.  [cols] snapshots are immutable and may be shared
+    read-only across domains; under the domain pool, [Lazy_join]
+    materializes snapshots during its sequential merge pass and worker
+    domains only ever read captured arrays — they never touch the
+    cache itself. *)
+
+type cols = { starts : int array; stops : int array; levels : int array }
+(** One segment's elements of one tag in local document order:
+    [starts.(i), stops.(i))] is element [i]'s immutable virtual
+    extent, [levels.(i)] its absolute depth.  All three arrays have
+    equal length. *)
+
+val empty_cols : cols
+val cols_length : cols -> int
+
+type stats = {
+  lookups : int;
+  hits : int;
+  misses : int;  (** includes stale drops; [hits + misses = lookups] *)
+  evictions : int;  (** entries evicted by the byte budget *)
+  invalidations : int;  (** epoch bumps ({!invalidate_segment} calls) *)
+  stale_drops : int;  (** entries discarded on lookup after an epoch bump *)
+  entries : int;  (** live entries right now *)
+  bytes : int;  (** accounted bytes right now; [<= max_bytes] *)
+  max_bytes : int;
+}
+
+type t
+
+val default_max_bytes : unit -> int
+(** [LXU_CACHE_BYTES] when set to a valid integer, else 64 MiB. *)
+
+val create : ?max_bytes:int -> unit -> t
+(** [max_bytes] defaults to {!default_max_bytes}; [<= 0] disables the
+    cache (see above). *)
+
+val enabled : t -> bool
+val max_bytes : t -> int
+
+val entry_bytes : int -> int
+(** Accounted footprint of an entry holding [n] elements (array
+    payloads plus header/bookkeeping overhead) — exposed for eviction
+    tests. *)
+
+val find : t -> tid:int -> sid:int -> cols option
+(** LRU-touching lookup.  Returns [None] (and drops the entry) when
+    the segment's epoch has moved since the entry was filled. *)
+
+val add : t -> tid:int -> sid:int -> cols -> unit
+(** Inserts (or replaces) the snapshot for [(tid, sid)] at the hot end
+    and evicts from the cold end until the budget holds.  A snapshot
+    larger than the whole budget is not cached at all. *)
+
+val invalidate_segment : t -> sid:int -> unit
+(** Bumps segment [sid]'s epoch: every cached [(_, sid)] entry is dead
+    and will be dropped on its next lookup (or by LRU pressure). *)
+
+val clear : t -> unit
+(** Drops every entry (counters are kept) — the benchmark's
+    cold-cache reset. *)
+
+val stats : t -> stats

@@ -66,13 +66,21 @@ let mark_dirty t =
      staleness signal): every list pays the next sort. *)
   Hashtbl.iter (fun _ s -> soil t s) t.lists
 
+(* Compact in place with a write cursor: removing k of n entries costs
+   one pass and zero allocation, instead of rebuilding the whole vector
+   through a temporary copy. *)
 let remove_where t v pred =
-  let kept = Vec.create () in
-  Vec.iter (fun e -> if pred e then t.path_ops <- t.path_ops + 1 else Vec.push kept e) v;
-  if Vec.length kept <> Vec.length v then begin
-    Vec.clear v;
-    Vec.iter (Vec.push v) kept
-  end
+  let n = Vec.length v in
+  let w = ref 0 in
+  for i = 0 to n - 1 do
+    let e = Vec.get v i in
+    if pred e then t.path_ops <- t.path_ops + 1
+    else begin
+      if !w < i then Vec.set v !w e;
+      incr w
+    end
+  done;
+  if !w < n then Vec.truncate v !w
 
 let decrement t ~tid ~sid ~by =
   match Hashtbl.find_opt t.lists tid with

@@ -22,12 +22,14 @@ type t = {
   mutable sb_dirty : bool;
   tag_list : Tag_list.t;
   element_index : Element_index.t;
+  cache : Seg_cache.t;
   mutable next_sid : int;
   branching : int;
   metrics : metrics;
 }
 
-let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) () =
+let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) ?cache_bytes
+    () =
   let root = Er_node.make_root () in
   let sb = Sb.create ~branching () in
   Sb.insert sb 0 root;
@@ -40,6 +42,7 @@ let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) 
     sb_dirty = false;
     tag_list = Tag_list.create ();
     element_index = Element_index.create ~branching ();
+    cache = Seg_cache.create ?max_bytes:cache_bytes ();
     next_sid = 1;
     branching;
     metrics =
@@ -67,6 +70,7 @@ let registry t = t.registry
 let element_index t = t.element_index
 let metrics t = t.metrics
 let tag_list t = t.tag_list
+let cache t = t.cache
 
 (* gp resolution used to keep tag lists sorted; walks the ER-tree
    structures already in memory, independent of SB-tree freshness. *)
@@ -166,6 +170,10 @@ let insert t ~gp text =
       | Lazy_static -> Tag_list.append t.tag_list ~tid entry)
     counts;
   t.metrics.segments_inserted <- t.metrics.segments_inserted + 1;
+  (* Read cache: only the new segment's epoch moves — element sets of
+     every existing segment are untouched by an insert (local labels
+     are immutable), so their cached snapshots stay valid. *)
+  Seg_cache.invalidate_segment t.cache ~sid;
   sid
 
 (* --- removal (Figure 7) -------------------------------------------- *)
@@ -351,6 +359,14 @@ let remove t ~gp ~len =
   Hashtbl.iter
     (fun (sid, tid) count -> Tag_list.decrement t.tag_list ~tid ~sid ~by:count)
     decrements;
+  (* Read cache: exactly the segments whose element sets changed —
+     deleted subtrees and partially-tombstoned survivors. *)
+  if Seg_cache.enabled t.cache then begin
+    let soiled = Hashtbl.create 8 in
+    List.iter (fun sid -> Hashtbl.replace soiled sid ()) !removed_sids;
+    Hashtbl.iter (fun (sid, _) _ -> Hashtbl.replace soiled sid ()) decrements;
+    Hashtbl.iter (fun sid () -> Seg_cache.invalidate_segment t.cache ~sid) soiled
+  end;
   t.metrics.segments_removed <- t.metrics.segments_removed + List.length !removed_sids
 
 (* --- query-side accessors ------------------------------------------ *)
@@ -378,6 +394,14 @@ let segments_for_tag t ~tag =
   | Some tid -> Tag_list.entries t.tag_list ~tid
 
 let elements_of t ~tid ~sid = Element_index.elements_of_segment t.element_index ~tid ~sid
+
+let elements_cols t ~tid ~sid =
+  match Seg_cache.find t.cache ~tid ~sid with
+  | Some c -> c
+  | None ->
+    let c = Element_index.cols_of_segment t.element_index ~tid ~sid in
+    Seg_cache.add t.cache ~tid ~sid c;
+    c
 
 (* --- materialization oracle ---------------------------------------- *)
 

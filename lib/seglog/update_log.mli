@@ -31,12 +31,15 @@ type metrics = {
 
 type t
 
-val create : ?mode:mode -> ?index_attributes:bool -> ?branching:int -> unit -> t
+val create :
+  ?mode:mode -> ?index_attributes:bool -> ?branching:int -> ?cache_bytes:int -> unit -> t
 (** An empty super document. [mode] defaults to [Lazy_dynamic];
     [index_attributes] (default false) additionally indexes every
     attribute as a subelement named ["@name"] (§1: "attributes can be
     considered as subelements"); [branching] is used for the SB-tree
-    and element index. *)
+    and element index; [cache_bytes] is the read-side {!Seg_cache}
+    budget (default {!Seg_cache.default_max_bytes}, [<= 0] disables
+    caching). *)
 
 val mode : t -> mode
 val indexes_attributes : t -> bool
@@ -90,7 +93,20 @@ val segments_for_tag : t -> tag:string -> Tag_list.entry array
     order (the [SL] input lists of Lazy-Join). *)
 
 val elements_of : t -> tid:int -> sid:int -> Element_index.key array
-(** Elements of one tag in one segment, in local order. *)
+(** Elements of one tag in one segment, in local order.  Always scans
+    the element index directly (no caching) — the reference path. *)
+
+val elements_cols : t -> tid:int -> sid:int -> Seg_cache.cols
+(** Columnar variant of {!elements_of}, fetched through the log's
+    {!Seg_cache}: a hit returns the cached struct-of-arrays snapshot;
+    a miss scans the element index once and caches the result.
+    Updates ([insert]/[remove]) bump the epochs of exactly the touched
+    segments, so a returned snapshot always reflects the current log
+    state.  Snapshots are immutable — callers must not mutate the
+    arrays. *)
+
+val cache : t -> Seg_cache.t
+(** The log's read-side element cache (stats, clearing, budget). *)
 
 val tag_list : t -> Tag_list.t
 

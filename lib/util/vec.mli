@@ -36,6 +36,12 @@ val remove_range : 'a t -> int -> int -> unit
 (** [remove_range v i n] removes elements [i .. i+n-1]. *)
 
 val clear : 'a t -> unit
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] drops all elements at index [n] and beyond ([n]
+    must be [<= length v]); the in-place counterpart of a filtering
+    copy. *)
+
 val iter : ('a -> unit) -> 'a t -> unit
 val iteri : (int -> 'a -> unit) -> 'a t -> unit
 val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

@@ -1,0 +1,58 @@
+#!/bin/sh
+# Perf regression gate for the structural-join path.
+#
+#   scripts/bench_gate.sh           run the parallel-join benchmark and
+#                                   fail if single-domain throughput
+#                                   drops more than 10% below the
+#                                   committed BENCH_join.json baseline
+#   scripts/bench_gate.sh --smoke   no benchmark run: just check that
+#                                   the committed baseline parses and
+#                                   carries a positive throughput (wired
+#                                   into `dune runtest` so a malformed
+#                                   or stale baseline fails fast)
+#
+# The baseline is regenerated with:
+#   dune exec bench/main.exe -- parallel
+# which rewrites BENCH_join.json in place; commit it alongside any
+# intentional perf change.
+set -eu
+
+root=$(dirname "$0")/..
+baseline="$root/BENCH_join.json"
+
+# Pulls the domains=1 pairs_per_sec out of a BENCH_join.json.  The
+# bench writer emits compact single-line JSON with a fixed key order
+# inside each series entry, so stream-editing is enough — no jq here.
+extract() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"domains":1,[^}]*' \
+    | head -n 1 \
+    | grep -o '"pairs_per_sec":[0-9.eE+-]*' \
+    | cut -d: -f2
+}
+
+[ -f "$baseline" ] || { echo "bench_gate: missing $baseline" >&2; exit 1; }
+base=$(extract "$baseline")
+case "$base" in
+  ''|0) echo "bench_gate: no domains=1 pairs_per_sec in $baseline" >&2; exit 1 ;;
+esac
+
+if [ "${1:-}" = "--smoke" ]; then
+  echo "bench_gate: smoke OK (baseline ${base} pairs/s)"
+  exit 0
+fi
+
+tmp=$(mktemp /tmp/bench_gate.XXXXXX.json)
+trap 'rm -f "$tmp"' EXIT
+(cd "$root" && dune exec bench/main.exe -- parallel --json "$tmp" >/dev/null)
+new=$(extract "$tmp")
+case "$new" in
+  ''|0) echo "bench_gate: benchmark produced no domains=1 pairs_per_sec" >&2; exit 1 ;;
+esac
+
+if awk -v n="$new" -v b="$base" 'BEGIN { exit !(n + 0 >= 0.9 * b) }'; then
+  echo "bench_gate: OK (${new} pairs/s vs baseline ${base}, floor 90%)"
+else
+  echo "bench_gate: FAIL (${new} pairs/s is below 90% of baseline ${base})" >&2
+  exit 1
+fi

@@ -20,6 +20,7 @@ let () =
       ("core", Test_core.suite);
       ("workload", Test_workload.suite);
       ("parallel_join", Test_parallel_join.suite);
+      ("seg_cache", Test_seg_cache.suite);
       ("storage", Test_storage.suite);
       ("recovery", Test_recovery.suite);
       ("governor", Test_governor.suite);

@@ -64,6 +64,29 @@ let test_accesses_counted () =
   ignore (Element_index.elements_of_segment idx ~tid:1 ~sid:1);
   check_bool "counted" true (Element_index.accesses idx > before)
 
+let test_accesses_exact () =
+  let idx = sample () in
+  (* tid 1 / sid 1 holds two records, and the tree has keys past them:
+     the scan must count exactly the matching records, not the
+     terminating sentinel key. *)
+  let before = Element_index.accesses idx in
+  ignore (Element_index.elements_of_segment idx ~tid:1 ~sid:1);
+  check_int "exact accesses" 2 (Element_index.accesses idx - before);
+  (* An empty scan touches no records at all. *)
+  let before = Element_index.accesses idx in
+  ignore (Element_index.elements_of_segment idx ~tid:2 ~sid:2);
+  check_int "empty scan free" 0 (Element_index.accesses idx - before)
+
+let test_cols_of_segment () =
+  let idx = sample () in
+  let c = Element_index.cols_of_segment idx ~tid:1 ~sid:1 in
+  check_int "len" 2 (Seg_cache.cols_length c);
+  Alcotest.(check (list int)) "starts" [ 0; 3 ] (Array.to_list c.Seg_cache.starts);
+  Alcotest.(check (list int)) "stops" [ 20; 9 ] (Array.to_list c.Seg_cache.stops);
+  Alcotest.(check (list int)) "levels" [ 0; 1 ] (Array.to_list c.Seg_cache.levels);
+  check_int "empty cols" 0
+    (Seg_cache.cols_length (Element_index.cols_of_segment idx ~tid:2 ~sid:2))
+
 let test_iter_all () =
   let idx = sample () in
   let n = ref 0 in
@@ -91,6 +114,8 @@ let suite =
     Alcotest.test_case "early stop" `Quick test_early_stop;
     Alcotest.test_case "remove" `Quick test_remove;
     Alcotest.test_case "accesses counted" `Quick test_accesses_counted;
+    Alcotest.test_case "accesses exact (no sentinel)" `Quick test_accesses_exact;
+    Alcotest.test_case "cols_of_segment" `Quick test_cols_of_segment;
     Alcotest.test_case "iter_all" `Quick test_iter_all;
     Alcotest.test_case "many records" `Quick test_many_records;
   ]

@@ -1,0 +1,295 @@
+(* Tests for the columnar segment-element cache: LRU eviction
+   accounting, epoch invalidation through the update log, and a
+   randomized differential property — a database with the cache
+   enabled must return byte-identical pairs and statistics to a twin
+   with it disabled, across LD/LS, both axes, sequential and
+   domain-parallel execution, and through removes and packs. *)
+
+open Lazy_xml
+open Lxu_seglog
+open Lxu_workload
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let mk_cols n =
+  {
+    Seg_cache.starts = Array.init n (fun i -> 2 * i);
+    stops = Array.init n (fun i -> (2 * i) + 1);
+    levels = Array.make n 0;
+  }
+
+(* --- unit: LRU eviction and counter accounting --------------------- *)
+
+let test_lru_eviction () =
+  let per = Seg_cache.entry_bytes 10 in
+  let cache = Seg_cache.create ~max_bytes:(3 * per) () in
+  for sid = 1 to 5 do
+    Seg_cache.add cache ~tid:0 ~sid (mk_cols 10)
+  done;
+  let s = Seg_cache.stats cache in
+  check_int "entries capped" 3 s.Seg_cache.entries;
+  check_int "evictions counted" 2 s.Seg_cache.evictions;
+  check_int "bytes accounted" (3 * per) s.Seg_cache.bytes;
+  check_bool "bytes within budget" true (s.Seg_cache.bytes <= s.Seg_cache.max_bytes);
+  (* Cold end went first: 1 and 2 are out, 3..5 are in. *)
+  check_bool "oldest evicted" true (Seg_cache.find cache ~tid:0 ~sid:1 = None);
+  check_bool "newest kept" true (Seg_cache.find cache ~tid:0 ~sid:5 <> None);
+  (* A lookup touch moves its entry to the hot end, changing who is
+     evicted next. *)
+  check_bool "touch 3" true (Seg_cache.find cache ~tid:0 ~sid:3 <> None);
+  Seg_cache.add cache ~tid:0 ~sid:6 (mk_cols 10);
+  check_bool "touched entry survives" true (Seg_cache.find cache ~tid:0 ~sid:3 <> None);
+  check_bool "cold entry evicted" true (Seg_cache.find cache ~tid:0 ~sid:4 = None);
+  let s = Seg_cache.stats cache in
+  check_int "hits + misses = lookups" s.Seg_cache.lookups
+    (s.Seg_cache.hits + s.Seg_cache.misses);
+  check_bool "still within budget" true (s.Seg_cache.bytes <= s.Seg_cache.max_bytes)
+
+let test_oversize_not_cached () =
+  let cache = Seg_cache.create ~max_bytes:(Seg_cache.entry_bytes 4) () in
+  Seg_cache.add cache ~tid:0 ~sid:1 (mk_cols 100);
+  let s = Seg_cache.stats cache in
+  check_int "oversize skipped" 0 s.Seg_cache.entries;
+  check_int "nothing evicted for it" 0 s.Seg_cache.evictions;
+  check_int "no bytes held" 0 s.Seg_cache.bytes
+
+let test_replace_same_key () =
+  let cache = Seg_cache.create ~max_bytes:(10 * Seg_cache.entry_bytes 8) () in
+  Seg_cache.add cache ~tid:0 ~sid:1 (mk_cols 8);
+  Seg_cache.add cache ~tid:0 ~sid:1 (mk_cols 3);
+  let s = Seg_cache.stats cache in
+  check_int "one entry" 1 s.Seg_cache.entries;
+  check_int "bytes are the replacement's" (Seg_cache.entry_bytes 3) s.Seg_cache.bytes;
+  match Seg_cache.find cache ~tid:0 ~sid:1 with
+  | Some c -> check_int "replacement visible" 3 (Seg_cache.cols_length c)
+  | None -> Alcotest.fail "replaced entry missing"
+
+let test_disabled () =
+  let cache = Seg_cache.create ~max_bytes:0 () in
+  check_bool "disabled" false (Seg_cache.enabled cache);
+  Seg_cache.add cache ~tid:0 ~sid:1 (mk_cols 3);
+  check_bool "find always misses" true (Seg_cache.find cache ~tid:0 ~sid:1 = None);
+  Seg_cache.invalidate_segment cache ~sid:1;
+  let s = Seg_cache.stats cache in
+  check_int "no lookups counted" 0 s.Seg_cache.lookups;
+  check_int "no invalidations counted" 0 s.Seg_cache.invalidations;
+  check_int "no entries" 0 s.Seg_cache.entries
+
+(* --- unit: epoch invalidation through the update log --------------- *)
+
+let tid_of log tag =
+  match Tag_registry.find (Update_log.registry log) tag with
+  | Some t -> t
+  | None -> Alcotest.fail ("unknown tag " ^ tag)
+
+let test_epoch_invalidation () =
+  let log = Update_log.create () in
+  let sid = Update_log.insert log ~gp:0 "<a><b/><b/></a>" in
+  let tid = tid_of log "b" in
+  let c1 = Update_log.elements_cols log ~tid ~sid in
+  check_int "two b elements" 2 (Seg_cache.cols_length c1);
+  let c2 = Update_log.elements_cols log ~tid ~sid in
+  check_bool "second fetch hits the cached snapshot" true (c1 == c2);
+  check_int "one hit" 1 (Seg_cache.stats (Update_log.cache log)).Seg_cache.hits;
+  (* An insert elsewhere creates a new segment and leaves sid's cached
+     snapshot valid. *)
+  let sid2 = Update_log.insert log ~gp:0 "<c/>" in
+  check_bool "other inserts don't flush" true
+    (Update_log.elements_cols log ~tid ~sid == c1);
+  ignore sid2;
+  (* Removing one <b/> bumps sid's epoch: the snapshot is stale and
+     dropped on the next lookup. *)
+  Update_log.remove log ~gp:7 ~len:4;
+  let c3 = Update_log.elements_cols log ~tid ~sid in
+  check_int "one b left" 1 (Seg_cache.cols_length c3);
+  let s = Seg_cache.stats (Update_log.cache log) in
+  check_int "stale drop recorded" 1 s.Seg_cache.stale_drops;
+  check_bool "invalidations recorded" true (s.Seg_cache.invalidations > 0);
+  check_int "hits + misses = lookups" s.Seg_cache.lookups
+    (s.Seg_cache.hits + s.Seg_cache.misses);
+  (* The fresh snapshot is cached again under the new epoch. *)
+  check_bool "refilled" true (Update_log.elements_cols log ~tid ~sid == c3);
+  Update_log.check log
+
+let test_clear_is_cold () =
+  let log = Update_log.create () in
+  let sid = Update_log.insert log ~gp:0 "<a><b/></a>" in
+  let tid = tid_of log "b" in
+  ignore (Update_log.elements_cols log ~tid ~sid);
+  Seg_cache.clear (Update_log.cache log);
+  check_int "no entries after clear" 0
+    (Seg_cache.stats (Update_log.cache log)).Seg_cache.entries;
+  let misses_before = (Seg_cache.stats (Update_log.cache log)).Seg_cache.misses in
+  check_int "re-materializes correctly" 1
+    (Seg_cache.cols_length (Update_log.elements_cols log ~tid ~sid));
+  check_int "cold lookup missed"
+    (misses_before + 1)
+    (Seg_cache.stats (Update_log.cache log)).Seg_cache.misses
+
+(* --- differential property ----------------------------------------- *)
+
+(* One workload: an insert schedule plus the tag pair to query (same
+   shape as test_parallel_join's). *)
+let build_edits seed =
+  if seed mod 2 = 0 then begin
+    let spec =
+      {
+        Joinmix.segments = 6 + (seed mod 16);
+        pairs_per_segment = 1 + (seed mod 4);
+        cross_percent = seed * 13 mod 101;
+        shape = (if seed mod 4 = 0 then Joinmix.Nested else Joinmix.Balanced);
+      }
+    in
+    let sch = Joinmix.generate spec in
+    (sch.Joinmix.edits, sch.Joinmix.anc_tag, sch.Joinmix.desc_tag)
+  end
+  else begin
+    let params =
+      { Generator.default_params with tags = [| "a"; "b"; "d" |]; text_chance_pct = 15 }
+    in
+    let text =
+      Generator.generate_text ~params ~seed ~target_elements:(50 + (7 * (seed mod 8))) ()
+    in
+    let shape = if seed mod 3 = 0 then Chopper.Nested else Chopper.Balanced in
+    let edits = Chopper.chop ~text ~segments:(6 + (seed mod 10)) shape in
+    (edits, "a", "d")
+  end
+
+(* Removes a randomly chosen whole element from every database in
+   [dbs] (they hold identical documents, so one extent fits all). *)
+let apply_random_removes st dbs n =
+  for _ = 1 to n do
+    let text = Lazy_db.text (List.hd dbs) in
+    if String.length text > 0 then begin
+      let nodes = Lxu_xml.Parser.parse_fragment text in
+      let extents = ref [] in
+      Lxu_xml.Tree.iter_elements nodes (fun e ~level:_ ->
+          if e.Lxu_xml.Tree.e_start >= 0 then
+            extents := (e.Lxu_xml.Tree.e_start, e.Lxu_xml.Tree.e_end) :: !extents);
+      match !extents with
+      | [] -> ()
+      | l ->
+        let arr = Array.of_list l in
+        let s, e_ = arr.(Random.State.int st (Array.length arr)) in
+        List.iter (fun db -> Lazy_db.remove db ~gp:s ~len:(e_ - s)) dbs
+    end
+  done
+
+(* Cached and uncached runs must agree on everything observable:
+   global pairs, query stats, raw local-label pairs (emission order
+   included) and raw join stats. *)
+let compare_dbs ~ctx ~anc ~desc off on =
+  List.iter
+    (fun (axis, axis_name) ->
+      let ctx = Printf.sprintf "%s %s" ctx axis_name in
+      let sp, ss = Lazy_db.query off ~axis ~anc ~desc () in
+      let pp, ps = Lazy_db.query on ~axis ~anc ~desc () in
+      if sp <> pp then Alcotest.failf "%s: global pairs differ" ctx;
+      if ss <> ps then Alcotest.failf "%s: query stats differ" ctx)
+    [ (Lazy_db.Descendant, "desc"); (Lazy_db.Child, "child") ];
+  match (Lazy_db.log off, Lazy_db.log on) with
+  | Some l_off, Some l_on ->
+    let sp, ss = Lxu_join.Lazy_join.run l_off ~anc ~desc () in
+    let pp, ps = Lxu_join.Lazy_join.run l_on ~anc ~desc () in
+    if sp <> pp then Alcotest.failf "%s: raw pairs differ" ctx;
+    if ss <> ps then Alcotest.failf "%s: raw join stats differ" ctx
+  | _ -> ()
+
+let prop_differential =
+  QCheck2.Test.make ~name:"cache on/off differential (LD/LS, domains 1/4)" ~count:12
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let edits, anc, desc = build_edits seed in
+      List.iter
+        (fun (engine, ename) ->
+          List.iter
+            (fun domains ->
+              let ctx = Printf.sprintf "seed %d %s d%d" seed ename domains in
+              let st = Random.State.make [| 0xcace; seed; domains |] in
+              let off = Lazy_db.create ~engine ~domains ~cache_bytes:0 () in
+              let on = Lazy_db.create ~engine ~domains () in
+              List.iter
+                (fun (gp, frag) ->
+                  Lazy_db.insert off ~gp frag;
+                  Lazy_db.insert on ~gp frag)
+                edits;
+              compare_dbs ~ctx ~anc ~desc off on;
+              (* Interleave removes with repeated (cache-warm) queries. *)
+              apply_random_removes st [ off; on ] (1 + (seed mod 2));
+              compare_dbs ~ctx:(ctx ^ " after removes") ~anc ~desc off on;
+              compare_dbs ~ctx:(ctx ^ " warm") ~anc ~desc off on;
+              (* The disabled twin never counts a lookup; the enabled
+                 one must have hit on the repeats. *)
+              (match Lazy_db.cache_stats off with
+              | Some s when s.Seg_cache.lookups > 0 ->
+                Alcotest.failf "%s: disabled cache counted lookups" ctx
+              | _ -> ());
+              (match Lazy_db.cache_stats on with
+              | Some s when s.Seg_cache.lookups > 0 && s.Seg_cache.hits = 0 ->
+                Alcotest.failf "%s: no hits after warm repeats" ctx
+              | _ -> ());
+              (* Packing re-segments the document in place — epochs must
+                 keep the cache honest. *)
+              let len = Lazy_db.doc_length off in
+              if len > 0 then begin
+                Lazy_db.pack_subtree off ~gp:0 ~len;
+                Lazy_db.pack_subtree on ~gp:0 ~len;
+                compare_dbs ~ctx:(ctx ^ " packed") ~anc ~desc off on
+              end)
+            [ 1; 4 ])
+        [ (Lazy_db.LD, "LD"); (Lazy_db.LS, "LS") ];
+      true)
+
+(* A tiny budget forces constant eviction churn mid-query; results
+   must still be exact. *)
+let test_tiny_budget_differential () =
+  let edits, anc, desc = build_edits 7 in
+  let off = Lazy_db.create ~cache_bytes:0 () in
+  let on = Lazy_db.create ~cache_bytes:(2 * Seg_cache.entry_bytes 4) () in
+  List.iter
+    (fun (gp, frag) ->
+      Lazy_db.insert off ~gp frag;
+      Lazy_db.insert on ~gp frag)
+    edits;
+  compare_dbs ~ctx:"tiny budget" ~anc ~desc off on;
+  compare_dbs ~ctx:"tiny budget warm" ~anc ~desc off on;
+  match Lazy_db.cache_stats on with
+  | Some s -> check_bool "budget respected" true (s.Seg_cache.bytes <= s.Seg_cache.max_bytes)
+  | None -> Alcotest.fail "lazy engine has a cache"
+
+(* A scratch recycles output chunks between runs, never results:
+   scratch-carrying repeats must match a scratch-free run exactly,
+   including after an update invalidates cached snapshots mid-stream. *)
+let test_scratch_reuse () =
+  let edits, anc, desc = build_edits 11 in
+  let db = Lazy_db.create () in
+  List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) edits;
+  match Lazy_db.log db with
+  | None -> Alcotest.fail "lazy engine has a log"
+  | Some log ->
+    let scratch = Lxu_join.Lazy_join.scratch () in
+    let check ctx =
+      let p0, s0 = Lxu_join.Lazy_join.run log ~anc ~desc () in
+      for i = 1 to 3 do
+        let p, s = Lxu_join.Lazy_join.run ~scratch log ~anc ~desc () in
+        if p <> p0 then Alcotest.failf "%s: scratch run %d pairs differ" ctx i;
+        if s <> s0 then Alcotest.failf "%s: scratch run %d stats differ" ctx i
+      done
+    in
+    check "initial";
+    Lazy_db.insert db ~gp:0 "<a><d/></a>";
+    check "after insert"
+
+let suite =
+  [
+    Alcotest.test_case "LRU eviction accounting" `Quick test_lru_eviction;
+    Alcotest.test_case "scratch reuse is invisible" `Quick test_scratch_reuse;
+    Alcotest.test_case "oversize snapshot skipped" `Quick test_oversize_not_cached;
+    Alcotest.test_case "replace same key" `Quick test_replace_same_key;
+    Alcotest.test_case "disabled cache is free" `Quick test_disabled;
+    Alcotest.test_case "epoch invalidation via log" `Quick test_epoch_invalidation;
+    Alcotest.test_case "clear starts cold" `Quick test_clear_is_cold;
+    Alcotest.test_case "tiny budget still exact" `Quick test_tiny_budget_differential;
+  ]
+  @ [ QCheck_alcotest.to_alcotest prop_differential ]

@@ -33,6 +33,19 @@ let test_insert_remove () =
   Vec.remove_range v 1 3;
   check_list "after remove_range" [ 0; 5 ] (Vec.to_list v)
 
+let test_truncate () =
+  let v = Vec.of_list [ 0; 1; 2; 3; 4 ] in
+  Vec.truncate v 5;
+  check_list "noop at length" [ 0; 1; 2; 3; 4 ] (Vec.to_list v);
+  Vec.truncate v 2;
+  check_list "dropped tail" [ 0; 1 ] (Vec.to_list v);
+  Vec.push v 9;
+  check_list "push after truncate" [ 0; 1; 9 ] (Vec.to_list v);
+  Vec.truncate v 0;
+  check_list "empty" [] (Vec.to_list v);
+  Alcotest.check_raises "past length" (Invalid_argument "Vec.truncate") (fun () ->
+      Vec.truncate v 1)
+
 let test_pop () =
   let v = Vec.of_list [ 1; 2 ] in
   check_int "pop" 2 (Vec.pop v);
@@ -76,6 +89,7 @@ let suite =
     Alcotest.test_case "push/get" `Quick test_push_get;
     Alcotest.test_case "bounds checks" `Quick test_bounds;
     Alcotest.test_case "insert/remove" `Quick test_insert_remove;
+    Alcotest.test_case "truncate" `Quick test_truncate;
     Alcotest.test_case "pop" `Quick test_pop;
     Alcotest.test_case "lower_bound" `Quick test_lower_bound;
     Alcotest.test_case "sort/fold/exists" `Quick test_sort_fold;
