@@ -132,26 +132,82 @@ let stats_cmd =
 
 (* --- insert / remove ---------------------------------------------------- *)
 
+(* Parses a batch file: one edit per line, [gp<TAB>path] where [path]
+   names a file holding the XML fragment to insert at [gp].  Blank
+   lines and [#] comments are skipped. *)
+let read_batch_file path =
+  let ic = open_in path in
+  let edits = ref [] in
+  let lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      (try
+         while true do
+           let line = input_line ic in
+           incr lineno;
+           let line = String.trim line in
+           if line <> "" && line.[0] <> '#' then
+             match String.index_opt line '\t' with
+             | None ->
+               failwith
+                 (Printf.sprintf "%s:%d: expected gp<TAB>fragment-file" path !lineno)
+             | Some tab ->
+               let gp =
+                 match int_of_string_opt (String.trim (String.sub line 0 tab)) with
+                 | Some gp -> gp
+                 | None ->
+                   failwith (Printf.sprintf "%s:%d: malformed byte position" path !lineno)
+               in
+               let frag_path =
+                 String.trim (String.sub line (tab + 1) (String.length line - tab - 1))
+               in
+               edits := (gp, read_file frag_path) :: !edits
+         done
+       with End_of_file -> ());
+      List.rev !edits)
+
 let insert_cmd =
-  let at = Arg.(required & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc:"Byte position.") in
-  let frag = Arg.(required & opt (some string) None & info [ "fragment" ] ~doc:"XML fragment to insert.") in
-  let run doc engine segments shape at frag =
+  let at = Arg.(value & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc:"Byte position.") in
+  let frag = Arg.(value & opt (some string) None & info [ "fragment" ] ~doc:"XML fragment to insert.") in
+  let batch = Arg.(value & opt (some file) None & info [ "batch" ] ~docv:"FILE"
+                     ~doc:"Apply a batch of inserts through the group-committed write path: \
+                           one edit per line in $(docv), formatted as gp<TAB>fragment-file, \
+                           positions interpreted after the preceding edits of the batch.") in
+  let run doc engine segments shape at frag batch =
+    let edits =
+      match (batch, at, frag) with
+      | Some path, None, None -> read_batch_file path
+      | None, Some at, Some frag -> [ (at, frag) ]
+      | Some _, _, _ -> failwith "--batch excludes --at/--fragment"
+      | None, _, _ -> failwith "need either --batch or both --at and --fragment"
+    in
     let db, _ = load ~engine:(engine_of_string engine) ~segments ~shape:(shape_of_string shape) doc in
     let t0 = Unix.gettimeofday () in
-    Lazy_db.insert db ~gp:at frag;
+    Lazy_db.insert_many db edits;
     let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
-    Printf.printf "inserted %d bytes at %d in %.3f ms (%d segments, index %d bytes)\n"
-      (String.length frag) at ms (Lazy_db.segment_count db) (Lazy_db.size_bytes db);
+    let bytes = List.fold_left (fun acc (_, f) -> acc + String.length f) 0 edits in
+    (match edits with
+    | [ (at, frag) ] ->
+      Printf.printf "inserted %d bytes at %d in %.3f ms (%d segments, index %d bytes)\n"
+        (String.length frag) at ms (Lazy_db.segment_count db) (Lazy_db.size_bytes db)
+    | _ ->
+      Printf.printf "inserted %d edits (%d bytes) in %.3f ms (%d segments, index %d bytes)\n"
+        (List.length edits) bytes ms (Lazy_db.segment_count db) (Lazy_db.size_bytes db));
     match Lazy_db.log db with
     | Some _ -> write_file doc (Lazy_db.text db)
     | None ->
-      (* STD keeps no text; reapply to the file directly. *)
-      let text = read_file doc in
-      write_file doc
-        (String.sub text 0 at ^ frag ^ String.sub text at (String.length text - at))
+      (* STD keeps no text; reapply the edits to the file directly. *)
+      let text =
+        List.fold_left
+          (fun text (at, frag) ->
+            String.sub text 0 at ^ frag ^ String.sub text at (String.length text - at))
+          (read_file doc) edits
+      in
+      write_file doc text
   in
-  Cmd.v (Cmd.info "insert" ~doc:"Insert a fragment and write the document back.")
-    Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ at $ frag)
+  Cmd.v (Cmd.info "insert" ~doc:"Insert one fragment — or a batch of them — and write the document back.")
+    Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ at $ frag $ batch)
 
 let remove_cmd =
   let at = Arg.(required & opt (some int) None & info [ "at" ] ~docv:"POS" ~doc:"Byte position.") in

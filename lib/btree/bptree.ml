@@ -388,6 +388,149 @@ module Make (K : ORDERED) = struct
     go t.root;
     (!internal, !leaves)
 
+  (* --- bulk construction ------------------------------------------ *)
+
+  let validate_sorted ~who pairs =
+    for i = 1 to Array.length pairs - 1 do
+      if K.compare (fst pairs.(i - 1)) (fst pairs.(i)) >= 0 then
+        invalid_arg (who ^ ": keys not strictly increasing")
+    done
+
+  (* Splits [n] items into ceil(n/branching) groups of near-equal size.
+     For two or more groups every group holds at least floor(n/groups)
+     >= branching/2 items (and at least (branching+1)/2 when grouping
+     children), so bottom-up loading never produces an underflowing
+     node; a single group may be arbitrarily small — it becomes the
+     root, which is exempt. *)
+  let group_spans n b =
+    let groups = (n + b - 1) / b in
+    let base = n / groups and extra = n mod groups in
+    (groups, fun i -> ((i * base) + min i extra, base + if i < extra then 1 else 0))
+
+  (* Replaces the contents of [t] with [pairs] (strictly increasing),
+     building leaves then each internal level in one left-to-right
+     pass: O(n) time, no rebalancing. *)
+  let bulk_build t pairs =
+    let n = Array.length pairs in
+    if n = 0 then begin
+      t.root <- Leaf (empty_leaf ());
+      t.size <- 0
+    end
+    else begin
+      let b = t.branching in
+      let nleaves, leaf_span = group_spans n b in
+      let leaves =
+        Array.init nleaves (fun i ->
+            let start, cnt = leaf_span i in
+            let cap = b + 1 in
+            let k0, v0 = pairs.(start) in
+            let lk = Array.make cap k0 and lv = Array.make cap v0 in
+            for j = 0 to cnt - 1 do
+              let k, v = pairs.(start + j) in
+              lk.(j) <- k;
+              lv.(j) <- v
+            done;
+            { lkeys = lk; lvals = lv; lcount = cnt; next = None })
+      in
+      for i = 0 to nleaves - 2 do
+        leaves.(i).next <- Some leaves.(i + 1)
+      done;
+      (* [mins.(i)] is the smallest key under [nodes.(i)]; the minimum
+         of a group's non-first children become the separators. *)
+      let rec up nodes mins =
+        let m = Array.length nodes in
+        if m = 1 then nodes.(0)
+        else begin
+          let groups, span = group_spans m b in
+          let parents =
+            Array.init groups (fun i ->
+                let start, cnt = span i in
+                let kcap = b + 1 and ccap = b + 2 in
+                let ik = Array.make kcap mins.(start) in
+                let ic = Array.make ccap nodes.(start) in
+                for j = 0 to cnt - 1 do
+                  ic.(j) <- nodes.(start + j);
+                  if j > 0 then ik.(j - 1) <- mins.(start + j)
+                done;
+                Internal { ikeys = ik; children = ic; ccount = cnt })
+          in
+          let pmins = Array.init groups (fun i -> mins.(fst (span i))) in
+          up parents pmins
+        end
+      in
+      let mins = Array.map (fun l -> l.lkeys.(0)) leaves in
+      t.root <- up (Array.map (fun l -> Leaf l) leaves) mins;
+      t.size <- n
+    end
+
+  let of_sorted ?branching pairs =
+    let t = create ?branching () in
+    validate_sorted ~who:"Bptree.of_sorted" pairs;
+    bulk_build t pairs;
+    t
+
+  let load_sorted t pairs =
+    if not (is_empty t) then invalid_arg "Bptree.load_sorted: tree not empty";
+    validate_sorted ~who:"Bptree.load_sorted" pairs;
+    bulk_build t pairs
+
+  let insert_sorted_batch t batch =
+    validate_sorted ~who:"Bptree.insert_sorted_batch" batch;
+    let m = Array.length batch in
+    if m = 0 then ()
+    else if is_empty t then bulk_build t batch
+    else if m * 4 < t.size then
+      (* Small batch into a big tree: the drain-merge-rebuild below
+         costs O(size) no matter how small the batch is, so a stream
+         of little batches would degrade to O(size) per batch.  Below
+         a quarter of the tree, per-key descent (m log size) is the
+         cheaper side of the crossover and leaves the tree incremental.
+         Semantics are identical either way (replace on duplicates). *)
+      Array.iter (fun (k, v) -> insert t k v) batch
+    else begin
+      let n = t.size in
+      let existing = Array.make n batch.(0) in
+      let i = ref 0 in
+      iter t (fun k v ->
+          existing.(!i) <- (k, v);
+          incr i);
+      let merged = Array.make (n + m) batch.(0) in
+      let a = ref 0 and bi = ref 0 and o = ref 0 in
+      while !a < n && !bi < m do
+        let c = K.compare (fst existing.(!a)) (fst batch.(!bi)) in
+        if c < 0 then begin
+          merged.(!o) <- existing.(!a);
+          incr a;
+          incr o
+        end
+        else if c > 0 then begin
+          merged.(!o) <- batch.(!bi);
+          incr bi;
+          incr o
+        end
+        else begin
+          (* Key present in both: the batch value wins, matching the
+             replace semantics of one-at-a-time [insert]. *)
+          merged.(!o) <- batch.(!bi);
+          incr a;
+          incr bi;
+          incr o
+        end
+      done;
+      while !a < n do
+        merged.(!o) <- existing.(!a);
+        incr a;
+        incr o
+      done;
+      while !bi < m do
+        merged.(!o) <- batch.(!bi);
+        incr bi;
+        incr o
+      done;
+      let merged = if !o = n + m then merged else Array.sub merged 0 !o in
+      bulk_build t merged
+    end
+
   (* --- invariants -------------------------------------------------- *)
 
   let check_invariants t =

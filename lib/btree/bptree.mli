@@ -33,6 +33,32 @@ module Make (K : ORDERED) : sig
   val insert : 'v t -> K.t -> 'v -> unit
   (** [insert t k v] binds [k] to [v], replacing any previous binding. *)
 
+  val of_sorted : ?branching:int -> (K.t * 'v) array -> 'v t
+  (** [of_sorted pairs] builds a tree bottom-up from pairs whose keys
+      are strictly increasing, in O(n) — no per-key descent, no
+      rebalancing.  Leaves and internal nodes are filled to near-equal
+      occupancy, so the result satisfies {!check_invariants}.
+      @raise Invalid_argument if the keys are not strictly increasing
+      (duplicates included) or [branching < 4]. *)
+
+  val load_sorted : 'v t -> (K.t * 'v) array -> unit
+  (** [load_sorted t pairs] bulk-loads an {e empty} tree in place,
+      keeping its branching factor; same contract as {!of_sorted}.
+      @raise Invalid_argument if [t] is non-empty or the keys are not
+      strictly increasing. *)
+
+  val insert_sorted_batch : 'v t -> (K.t * 'v) array -> unit
+  (** [insert_sorted_batch t batch] merges a batch of strictly
+      increasing keys into [t].  When the batch is large relative to
+      the tree (or the tree is empty) the existing bindings are
+      drained in order, merged with the batch, and the tree is rebuilt
+      bottom-up — O(n + m); small batches descend per key instead —
+      O(m log n) — so a stream of little batches never degrades to a
+      rebuild each.  Either way, a batch key already present replaces
+      its value, as {!insert} would.
+      @raise Invalid_argument if the batch keys are not strictly
+      increasing (duplicate keys {e within} the batch are rejected). *)
+
   val find : 'v t -> K.t -> 'v option
   val mem : 'v t -> K.t -> bool
 

@@ -90,6 +90,27 @@ let rec insert t ~gp text =
   log_op t (Lxu_storage.Wal.Insert { gp; text });
   maybe_pack t
 
+and insert_many t edits =
+  match edits with
+  | [] -> ()
+  | [ (gp, text) ] -> insert t ~gp text
+  | _ ->
+    (match t.backend with
+    | Log log -> ignore (Update_log.insert_batch ?pool:(pool_of t) log edits)
+    | Store store ->
+      (* STD has no batched path (global relabelling dominates anyway):
+         apply one at a time. *)
+      List.iter (fun (gp, text) -> Interval_store.insert store ~gp text) edits);
+    (* One WAL record group, one flush: the lazy-engine apply above is
+       all-or-nothing, so either every record describes an applied edit
+       or none was logged. *)
+    (match t.durable with
+    | None -> ()
+    | Some s ->
+      Lxu_storage.Wal_store.log_ops s
+        (List.map (fun (gp, text) -> Lxu_storage.Wal.Insert { gp; text }) edits));
+    maybe_pack t
+
 and remove t ~gp ~len =
   (match t.backend with
   | Log log -> Update_log.remove log ~gp ~len

@@ -89,6 +89,24 @@ val insert : t -> gp:int -> string -> unit
     @raise Invalid_argument on out-of-bounds positions or empty text.
     @raise Lxu_xml.Parser.Parse_error on ill-formed text. *)
 
+val insert_many : t -> (int * string) list -> unit
+(** [insert_many t edits] applies the [(gp, text)] inserts in order,
+    equivalent to — and fingerprint-identical with — calling {!insert}
+    for each, but through the batched write path: one parse fan-out
+    (over the database's domain pool), one bulk merge into each index
+    (see {!Lxu_seglog.Update_log.insert_batch}), and one WAL record
+    group persisted with a single flush.  A crash mid-batch recovers a
+    prefix of the batch.
+
+    For the lazy engines the batch is all-or-nothing: on
+    [Invalid_argument] or [Parse_error] no edit is applied and nothing
+    is logged.  The [STD] engine applies edits one at a time (no
+    batched path; it is the paper's baseline) and may stop mid-list on
+    an invalid edit.
+    @raise Invalid_argument / [Parse_error] as {!insert}, with gp
+    bounds checked against the document as it will be after the
+    preceding edits of the batch. *)
+
 val remove : t -> gp:int -> len:int -> unit
 (** Removes the byte range [gp, gp+len), which must be a well-formed
     fragment of the current document. *)

@@ -72,6 +72,7 @@ let recover ?domains dir =
   (wrap db, report)
 
 let insert t ~gp text = write t (fun db -> Lazy_db.insert db ~gp text)
+let insert_many t edits = write t (fun db -> Lazy_db.insert_many db edits)
 let remove t ~gp ~len = write t (fun db -> Lazy_db.remove db ~gp ~len)
 
 (* WAL appends happen inside Lazy_db's update path, so they are

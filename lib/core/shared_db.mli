@@ -43,6 +43,12 @@ val close : t -> unit
 val insert : t -> gp:int -> string -> unit
 (** Exclusive update. *)
 
+val insert_many : t -> (int * string) list -> unit
+(** Batched exclusive update: the whole batch is applied — and its WAL
+    record group flushed — under one write-lock hold (see
+    {!Lazy_db.insert_many}), so readers never observe a partially
+    applied batch. *)
+
 val remove : t -> gp:int -> len:int -> unit
 (** Exclusive update. *)
 

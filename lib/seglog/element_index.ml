@@ -42,6 +42,14 @@ let remove t k =
   Atomic.incr t.accesses;
   T.remove t.tree k
 
+let add_batch t keys =
+  let n = Array.length keys in
+  if n > 0 then begin
+    Array.sort K.compare keys;
+    ignore (Atomic.fetch_and_add t.accesses n);
+    T.insert_sorted_batch t.tree (Array.map (fun k -> (k, ())) keys)
+  end
+
 let iter_segment t ~tid ~sid f =
   let lo = { tid; sid; start = min_int; stop = min_int; level = min_int } in
   let touched = ref 0 in

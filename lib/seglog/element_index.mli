@@ -20,6 +20,14 @@ val size : t -> int
 val add : t -> key -> unit
 val remove : t -> key -> bool
 
+val add_batch : t -> key array -> unit
+(** Bulk insertion for batched ingestion: sorts [keys] in place and
+    merges them into the tree in a single O(existing + batch) pass
+    (see {!Lxu_btree.Bptree}), instead of one descent per key.
+    The keys must be pairwise distinct — [(sid, start)] identifies an
+    element, so distinct elements always are.
+    @raise Invalid_argument on duplicate keys in the batch. *)
+
 val iter_segment : t -> tid:int -> sid:int -> (key -> bool) -> unit
 (** [iter_segment t ~tid ~sid f] applies [f] to the records of tag
     [tid] in segment [sid] in ascending [start] order, stopping early

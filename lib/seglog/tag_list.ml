@@ -2,10 +2,22 @@ open Lxu_util
 
 type entry = { sid : int; path : int array; mutable count : int }
 
+exception Dirty_tag_list of int
+
 (* One per-tag list with its own dirty bit: an LS-mode append soils
-   only the tag it touches, so the pre-query sort re-sorts exactly the
-   updated tags instead of every list in the table. *)
-type slot = { entries : entry Vec.t; mutable dirty : bool }
+   only the tag it touches, so the pre-query sort processes exactly the
+   updated tags instead of every list in the table.
+
+   Each slot keeps two runs.  [entries] is the {e main run}, sorted by
+   the segments' current global positions.  The run-merge invariant
+   that keeps it sorted without re-sorting: every gp shift an update
+   applies is monotone (all positions >= the edit point move by the
+   same delta), so the relative order of existing entries never
+   changes.  [pending] accumulates entries appended since the last
+   sort, in arrival order; [sort_all] sorts only the pending run and
+   merges the two, O(n + p·log p) instead of a full O((n+p)·log(n+p))
+   re-sort.  Clean slots have an empty pending run. *)
+type slot = { entries : entry Vec.t; pending : entry Vec.t; mutable dirty : bool }
 
 type t = {
   lists : (int, slot) Hashtbl.t;
@@ -19,7 +31,7 @@ let slot_for t tid =
   match Hashtbl.find_opt t.lists tid with
   | Some s -> s
   | None ->
-    let s = { entries = Vec.create (); dirty = false } in
+    let s = { entries = Vec.create (); pending = Vec.create (); dirty = false } in
     Hashtbl.add t.lists tid s;
     s
 
@@ -31,7 +43,7 @@ let soil t s =
 
 let add_sorted t ~tid entry ~gp_of =
   let s = slot_for t tid in
-  if s.dirty then Vec.push s.entries entry (* sorted on the next sort_all anyway *)
+  if s.dirty then Vec.push s.pending entry (* merged on the next sort_all anyway *)
   else begin
     let gp = gp_of entry.sid in
     let i =
@@ -43,18 +55,81 @@ let add_sorted t ~tid entry ~gp_of =
 
 let append t ~tid entry =
   let s = slot_for t tid in
-  Vec.push s.entries entry;
+  Vec.push s.pending entry;
   soil t s;
   t.path_ops <- t.path_ops + 1
 
+(* Merge path: sort the pending run (stably, so same-gp arrivals keep
+   their order), then merge it into the main run from the back, in
+   place.  Equal gps keep main-run entries first — exactly where
+   repeated [add_sorted] calls would have put the newcomers, which is
+   what the batched/sequential differential suite relies on. *)
+let merge_slot s ~gp_of =
+  let np = Vec.length s.pending in
+  if np > 0 then begin
+    let pend =
+      Array.init np (fun i ->
+          let e = Vec.get s.pending i in
+          (gp_of e.sid, e))
+    in
+    Array.stable_sort (fun (g1, _) (g2, _) -> Int.compare g1 g2) pend;
+    let n = Vec.length s.entries in
+    let mgp = Array.init n (fun i -> gp_of (Vec.get s.entries i).sid) in
+    for k = 0 to np - 1 do
+      Vec.push s.entries (snd pend.(k))
+    done;
+    (* Backward merge: position [w] receives the largest remaining
+       element; reads of main-run slots happen before any write can
+       reach them (writes stay strictly ahead while pending entries
+       remain).  Once the pending run is exhausted the main prefix is
+       already in place. *)
+    let i = ref (n - 1) and j = ref (np - 1) in
+    let w = ref (n + np - 1) in
+    while !j >= 0 do
+      if !i >= 0 && mgp.(!i) > fst pend.(!j) then begin
+        Vec.set s.entries !w (Vec.get s.entries !i);
+        decr i
+      end
+      else begin
+        Vec.set s.entries !w (snd pend.(!j));
+        decr j
+      end;
+      decr w
+    done;
+    Vec.truncate s.pending 0
+  end;
+  s.dirty <- false
+
+(* Legacy path (LXU_TAGSORT=resort): concatenate and stable-sort the
+   whole list.  Kept as the differential oracle for the merge path —
+   stability makes the two agree byte-for-byte on equal gps. *)
+let resort_slot s ~gp_of =
+  let np = Vec.length s.pending in
+  for k = 0 to np - 1 do
+    Vec.push s.entries (Vec.get s.pending k)
+  done;
+  Vec.truncate s.pending 0;
+  let n = Vec.length s.entries in
+  let a =
+    Array.init n (fun i ->
+        let e = Vec.get s.entries i in
+        (gp_of e.sid, e))
+  in
+  Array.stable_sort (fun (g1, _) (g2, _) -> Int.compare g1 g2) a;
+  for i = 0 to n - 1 do
+    Vec.set s.entries i (snd a.(i))
+  done;
+  s.dirty <- false
+
 let sort_all t ~gp_of =
   if t.dirty_count > 0 then begin
+    let resort =
+      match Sys.getenv_opt "LXU_TAGSORT" with Some "resort" -> true | _ -> false
+    in
     Hashtbl.iter
       (fun _ s ->
-        if s.dirty then begin
-          Vec.sort (fun a b -> Int.compare (gp_of a.sid) (gp_of b.sid)) s.entries;
-          s.dirty <- false
-        end)
+        if s.dirty then
+          if resort then resort_slot s ~gp_of else merge_slot s ~gp_of)
       t.lists;
     t.dirty_count <- 0
   end
@@ -63,7 +138,7 @@ let is_dirty t = t.dirty_count > 0
 
 let mark_dirty t =
   (* Conservative full invalidation (benchmark helper / external
-     staleness signal): every list pays the next sort. *)
+     staleness signal): every list pays the next sort_all pass. *)
   Hashtbl.iter (fun _ s -> soil t s) t.lists
 
 (* Compact in place with a write cursor: removing k of n entries costs
@@ -86,17 +161,25 @@ let decrement t ~tid ~sid ~by =
   match Hashtbl.find_opt t.lists tid with
   | None -> ()
   | Some s ->
-    Vec.iter (fun e -> if e.sid = sid then e.count <- e.count - by) s.entries;
-    remove_where t s.entries (fun e -> e.sid = sid && e.count <= 0)
+    let touch v =
+      Vec.iter (fun e -> if e.sid = sid then e.count <- e.count - by) v;
+      remove_where t v (fun e -> e.sid = sid && e.count <= 0)
+    in
+    touch s.entries;
+    touch s.pending
 
 let remove_segment t ~sid =
-  Hashtbl.iter (fun _ s -> remove_where t s.entries (fun e -> e.sid = sid)) t.lists
+  Hashtbl.iter
+    (fun _ s ->
+      remove_where t s.entries (fun e -> e.sid = sid);
+      remove_where t s.pending (fun e -> e.sid = sid))
+    t.lists
 
 let entries t ~tid =
   match Hashtbl.find_opt t.lists tid with
   | None -> [||]
   | Some s ->
-    if s.dirty then failwith "Tag_list.entries: dirty list, call sort_all first";
+    if s.dirty then raise (Dirty_tag_list tid);
     Vec.to_array s.entries
 
 let tids t = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.lists [] |> List.sort Int.compare
@@ -104,7 +187,5 @@ let tids t = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.lists [] |> List.sort 
 let path_ops t = t.path_ops
 
 let size_bytes t =
-  Hashtbl.fold
-    (fun _ s acc ->
-      acc + Vec.fold_left (fun a e -> a + (8 * (Array.length e.path + 3))) 0 s.entries)
-    t.lists 0
+  let run v = Vec.fold_left (fun a e -> a + (8 * (Array.length e.path + 3))) 0 v in
+  Hashtbl.fold (fun _ s acc -> acc + run s.entries + run s.pending) t.lists 0

@@ -11,6 +11,10 @@
 
 type entry = { sid : int; path : int array; mutable count : int }
 
+exception Dirty_tag_list of int
+(** Raised by {!entries} when the requested tag's list is dirty; the
+    payload is the tag id.  Call {!sort_all} first. *)
+
 type t
 
 val create : unit -> t
@@ -20,14 +24,24 @@ val add_sorted : t -> tid:int -> entry -> gp_of:(int -> int) -> unit
     [gp_of] resolves a segment's current global position. *)
 
 val append : t -> tid:int -> entry -> unit
-(** Appends without sorting and marks {e that tag's} list dirty (the
-    LS discipline).  Dirtiness is tracked per tag, so updating one tag
-    never forces a re-sort of the others. *)
+(** Appends to the tag's {e pending run} and marks that tag's list
+    dirty (the LS discipline).  Dirtiness is tracked per tag, so
+    updating one tag never forces a re-sort of the others. *)
 
 val sort_all : t -> gp_of:(int -> int) -> unit
-(** Sorts every dirty per-tag list by segment global position — the
-    LS pre-query step.  Clean lists (including all lists of tags no
-    update touched) are left alone. *)
+(** Brings every dirty per-tag list back to global-position order —
+    the LS pre-query step.  Clean lists (including all lists of tags
+    no update touched) are left alone.
+
+    The main run of a list stays sorted by {e current} gp across
+    updates (gp shifts are monotone, so they never reorder existing
+    entries), so only the pending run accumulated since the last sort
+    needs sorting, followed by a single two-way merge: O(n + p·log p)
+    for p pending entries in a list of n.  Entries with equal gps keep
+    the main run first and pending arrivals in order, byte-identical
+    to having inserted each entry with {!add_sorted}.  Set
+    [LXU_TAGSORT=resort] to use the legacy full re-sort instead (the
+    differential oracle in the test suite). *)
 
 val is_dirty : t -> bool
 (** Whether any per-tag list is dirty (O(1)). *)
@@ -48,8 +62,9 @@ val remove_segment : t -> sid:int -> unit
 
 val entries : t -> tid:int -> entry array
 (** Entries for a tag in global-position order.
-    @raise Failure if {e this tag's} list is dirty (call {!sort_all}
-    first); other tags being dirty does not block the read. *)
+    @raise Dirty_tag_list if {e this tag's} list is dirty (call
+    {!sort_all} first); other tags being dirty does not block the
+    read. *)
 
 val tids : t -> int list
 

@@ -24,6 +24,7 @@ type t = {
   element_index : Element_index.t;
   cache : Seg_cache.t;
   mutable next_sid : int;
+  mutable live_segments : int;  (* segments alive, dummy root excluded *)
   branching : int;
   metrics : metrics;
 }
@@ -44,6 +45,7 @@ let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) 
     element_index = Element_index.create ~branching ();
     cache = Seg_cache.create ?max_bytes:cache_bytes ();
     next_sid = 1;
+    live_segments = 0;
     branching;
     metrics =
       {
@@ -59,7 +61,12 @@ let mode t = t.mode
 let indexes_attributes t = t.index_attributes
 let doc_length t = t.root.Er_node.len
 
-let segment_count t =
+let segment_count t = t.live_segments
+
+(* Reference implementation of {!segment_count}: the full ER-tree walk
+   the live counter replaced.  [check] (and the tests) assert the two
+   agree. *)
+let segment_count_walk t =
   let n = ref 0 in
   Er_node.iter_subtree t.root (fun _ -> incr n);
   !n - 1
@@ -81,11 +88,13 @@ let gp_table t =
 
 (* --- insertion (Figure 5) ------------------------------------------ *)
 
-let insert t ~gp text =
+(* Steps 1-4 of Figure 5, shared by [insert] and [insert_batch]: shift
+   global positions, descend to the covering parent, derive the local
+   position and base level, then build and link the new node.
+   [elems_for] receives the computed base level and produces the
+   segment's element skeletons. *)
+let link_new_segment t ~gp ~text ~elems_for =
   let open Er_node in
-  if text = "" then invalid_arg "Update_log.insert: empty segment";
-  if gp < 0 || gp > t.root.len then invalid_arg "Update_log.insert: gp out of bounds";
-  let nodes = Lxu_xml.Parser.parse_fragment text in
   let len = String.length text in
   (* Step 1: shift the global position of every segment at or after the
      insertion point (AddNewSegment_Start). *)
@@ -136,30 +145,50 @@ let insert t ~gp text =
   (* Step 4: build and link the node. *)
   let sid = t.next_sid in
   t.next_sid <- t.next_sid + 1;
-  let elems = ref [] in
-  Lxu_xml.Tree.iter_labels ~attributes:t.index_attributes ~base_level nodes
-    (fun ~name ~start ~stop ~level ->
-      elems := { start; stop; level; tid = Tag_registry.intern t.registry name } :: !elems);
-  let elems = List.rev !elems in
+  let elems = elems_for ~base_level in
   let node = Er_node.make ~sid ~gp ~lp ~base_level ~text ~elems in
   node.parent <- Some parent;
   Vec.insert_at parent.children (child_index_for_gp parent gp) node;
+  t.live_segments <- t.live_segments + 1;
+  node
+
+(* Distinct-tag element counts of a segment, for tag-list entries. *)
+let tag_counts (node : Er_node.t) =
+  let counts = Hashtbl.create 8 in
+  Vec.iter
+    (fun (e : Er_node.elem) ->
+      Hashtbl.replace counts e.Er_node.tid
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.Er_node.tid)))
+    node.Er_node.elems;
+  counts
+
+let insert t ~gp text =
+  let open Er_node in
+  if text = "" then invalid_arg "Update_log.insert: empty segment";
+  if gp < 0 || gp > t.root.len then invalid_arg "Update_log.insert: gp out of bounds";
+  let nodes = Lxu_xml.Parser.parse_fragment text in
+  let node =
+    link_new_segment t ~gp ~text ~elems_for:(fun ~base_level ->
+        let elems = ref [] in
+        Lxu_xml.Tree.iter_labels ~attributes:t.index_attributes ~base_level nodes
+          (fun ~name ~start ~stop ~level ->
+            elems :=
+              { start; stop; level; tid = Tag_registry.intern t.registry name } :: !elems);
+        List.rev !elems)
+  in
+  let sid = node.sid in
   (* Step 5: SB-tree (kept fresh only under LD). *)
   (match t.mode with
   | Lazy_dynamic -> Sb.insert t.sb sid node
   | Lazy_static -> t.sb_dirty <- true);
   (* Step 6: element index. *)
-  List.iter
+  Vec.iter
     (fun (e : elem) ->
       Element_index.add t.element_index
         { tid = e.tid; sid; start = e.start; stop = e.stop; level = e.level })
-    elems;
+    node.elems;
   (* Step 7: tag-list, one path entry per distinct tag in the segment. *)
-  let counts = Hashtbl.create 8 in
-  List.iter
-    (fun (e : elem) ->
-      Hashtbl.replace counts e.tid (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.tid)))
-    elems;
+  let counts = tag_counts node in
   let path = Er_node.path node in
   let gp_of = lazy (gp_table t) in
   Hashtbl.iter
@@ -175,6 +204,101 @@ let insert t ~gp text =
      are immutable), so their cached snapshots stay valid. *)
   Seg_cache.invalidate_segment t.cache ~sid;
   sid
+
+(* --- batched insertion --------------------------------------------- *)
+
+let insert_batch ?pool t edits =
+  let open Er_node in
+  match edits with
+  | [] -> []
+  | _ ->
+    let edits = Array.of_list edits in
+    let b = Array.length edits in
+    (* All-or-nothing up-front validation: every failure mode of
+       [insert] is decidable before anything is mutated.  Emptiness and
+       well-formedness are per-fragment and pure; the gp bound of edit
+       k is the document length after the k-1 edits before it — a
+       running sum. *)
+    let running = ref t.root.len in
+    Array.iter
+      (fun (gp, text) ->
+        if text = "" then invalid_arg "Update_log.insert_batch: empty segment";
+        if gp < 0 || gp > !running then
+          invalid_arg "Update_log.insert_batch: gp out of bounds";
+        running := !running + String.length text)
+      edits;
+    (* Parse and label every fragment first — parsing is pure, so this
+       fans out over the domain pool.  Levels are extracted relative to
+       the fragment root and rebased once the insertion point is known;
+       tag interning (shared registry) stays on the applying thread. *)
+    let label i =
+      let _, text = edits.(i) in
+      let nodes = Lxu_xml.Parser.parse_fragment text in
+      let acc = ref [] in
+      Lxu_xml.Tree.iter_labels ~attributes:t.index_attributes ~base_level:0 nodes
+        (fun ~name ~start ~stop ~level -> acc := (name, start, stop, level) :: !acc);
+      Array.of_list (List.rev !acc)
+    in
+    let labelled =
+      match pool with
+      | Some p when b > 1 -> Domain_pool.map p b label
+      | _ -> Array.init b label
+    in
+    (* Serial ER-tree application.  Index maintenance is deferred:
+       instead of B SB-tree descents, B element-index insert runs and B
+       tag-list passes, the batch pays one bulk merge into each. *)
+    let sb_pairs = ref [] in
+    let ekeys = Vec.create () in
+    let sids = ref [] in
+    Array.iteri
+      (fun k (gp, text) ->
+        let node =
+          link_new_segment t ~gp ~text ~elems_for:(fun ~base_level ->
+              Array.to_list labelled.(k)
+              |> List.map (fun (name, start, stop, level) ->
+                     {
+                       start;
+                       stop;
+                       level = base_level + level;
+                       tid = Tag_registry.intern t.registry name;
+                     }))
+        in
+        let sid = node.sid in
+        (match t.mode with
+        | Lazy_dynamic -> sb_pairs := (sid, node) :: !sb_pairs
+        | Lazy_static -> t.sb_dirty <- true);
+        Vec.iter
+          (fun (e : elem) ->
+            Vec.push ekeys
+              {
+                Element_index.tid = e.tid;
+                sid;
+                start = e.start;
+                stop = e.stop;
+                level = e.level;
+              })
+          node.elems;
+        let path = Er_node.path node in
+        Hashtbl.iter
+          (fun tid count ->
+            Tag_list.append t.tag_list ~tid { Tag_list.sid = sid; path; count })
+          (tag_counts node);
+        t.metrics.segments_inserted <- t.metrics.segments_inserted + 1;
+        Seg_cache.invalidate_segment t.cache ~sid;
+        sids := sid :: !sids)
+      edits;
+    (* One element-index bulk merge for the whole batch. *)
+    Element_index.add_batch t.element_index (Vec.to_array ekeys);
+    (match t.mode with
+    | Lazy_dynamic ->
+      (* One SB-tree batch insert — sids were assigned in ascending
+         order, so the pairs are already sorted — and one tag-list
+         merge over a single gp table, restoring the LD query-ready
+         invariant with one pass instead of B. *)
+      Sb.insert_sorted_batch t.sb (Array.of_list (List.rev !sb_pairs));
+      Tag_list.sort_all t.tag_list ~gp_of:(gp_table t)
+    | Lazy_static -> ());
+    List.rev !sids
 
 (* --- removal (Figure 7) -------------------------------------------- *)
 
@@ -367,6 +491,7 @@ let remove t ~gp ~len =
     Hashtbl.iter (fun (sid, _) _ -> Hashtbl.replace soiled sid ()) decrements;
     Hashtbl.iter (fun sid () -> Seg_cache.invalidate_segment t.cache ~sid) soiled
   end;
+  t.live_segments <- t.live_segments - List.length !removed_sids;
   t.metrics.segments_removed <- t.metrics.segments_removed + List.length !removed_sids
 
 (* --- query-side accessors ------------------------------------------ *)
@@ -377,8 +502,15 @@ let mark_stale t =
 
 let prepare_for_query t =
   if t.sb_dirty then begin
+    (* Bulk SB rebuild: collect (sid, node) pairs, sort by sid, and
+       bottom-up load — one O(n log n) sort instead of n tree
+       descents with splits. *)
+    let pairs = Vec.create () in
+    Er_node.iter_subtree t.root (fun n -> Vec.push pairs (n.Er_node.sid, n));
+    let pairs = Vec.to_array pairs in
+    Array.sort (fun (a, _) (b, _) -> Int.compare a b) pairs;
     let sb = Sb.create ~branching:t.branching () in
-    Er_node.iter_subtree t.root (fun n -> Sb.insert sb n.Er_node.sid n);
+    Sb.load_sorted sb pairs;
     t.sb <- sb;
     t.sb_dirty <- false
   end;
@@ -525,7 +657,12 @@ let check t =
         | Some m when m == n -> ()
         | _ -> failwith (Printf.sprintf "SB-tree misses segment %d" n.Er_node.sid));
     if Sb.length t.sb <> !live then failwith "SB-tree holds stale segments"
-  end
+  end;
+  (* The live segment counter agrees with the ER-tree walk. *)
+  if t.live_segments <> segment_count_walk t then
+    failwith
+      (Printf.sprintf "segment counter says %d, ER-tree walk says %d" t.live_segments
+         (segment_count_walk t))
 
 (* --- snapshots ------------------------------------------------------- *)
 
@@ -645,6 +782,7 @@ let load ic =
   done;
   (* Root length is the sum of its children (it has no own text). *)
   t.root.len <- Vec.fold_left (fun acc (c : Er_node.t) -> acc + c.len) 0 t.root.children;
+  t.live_segments <- segment_count_walk t;
   (* Rebuild derived structures: element index and tag lists from the
      skeletons, SB-tree from the ER-tree. *)
   Er_node.iter_subtree t.root (fun n ->

@@ -45,7 +45,12 @@ val mode : t -> mode
 val indexes_attributes : t -> bool
 val doc_length : t -> int
 val segment_count : t -> int
-(** Live segments, dummy root excluded. *)
+(** Live segments, dummy root excluded — an O(1) counter maintained by
+    insert/remove, not a tree walk. *)
+
+val segment_count_walk : t -> int
+(** Reference implementation of {!segment_count} by full ER-tree walk;
+    {!check} (and the tests) assert the two agree. *)
 
 val element_count : t -> int
 val root : t -> Er_node.t
@@ -61,6 +66,26 @@ val insert : t -> gp:int -> string -> int
     @raise Invalid_argument if [gp] is out of bounds or [text] is empty.
     @raise Lxu_xml.Parser.Parse_error if [text] is not a well-formed
     fragment. *)
+
+val insert_batch :
+  ?pool:Lxu_util.Domain_pool.t -> t -> (int * string) list -> int list
+(** [insert_batch t edits] applies the [(gp, text)] edits in order and
+    returns their sids, producing a log byte-identical to inserting
+    them one at a time with {!insert} — but with batched index
+    maintenance: all fragments are parsed and labelled first (fanned
+    out over [pool] when given — parsing is pure), then the ER-tree
+    edits are applied serially, followed by {e one} element-index bulk
+    merge, {e one} SB-tree batch insert and {e one} tag-list merge
+    pass over a single gp table (under [Lazy_dynamic]; [Lazy_static]
+    defers those to {!prepare_for_query} as usual).
+
+    All-or-nothing: every edit is validated before anything is
+    mutated.  [gp] bounds are checked against the document as it will
+    be after the preceding edits of the batch.
+    @raise Invalid_argument if any [gp] is out of bounds or any [text]
+    is empty; the log is unchanged.
+    @raise Lxu_xml.Parser.Parse_error if any fragment is ill-formed;
+    the log is unchanged. *)
 
 val remove : t -> gp:int -> len:int -> unit
 (** [remove t ~gp ~len] deletes the byte range [gp, gp+len), updating

@@ -41,6 +41,11 @@ let log_op t op =
   ignore (Wal.append t.wal op);
   if not t.batching then Wal.commit t.wal
 
+let log_ops t ops =
+  check_open t "log_ops";
+  List.iter (fun op -> ignore (Wal.append t.wal op)) ops;
+  if not t.batching then Wal.commit t.wal
+
 let batch t f =
   check_open t "batch";
   if t.batching then invalid_arg "Wal_store.batch: already inside a batch";

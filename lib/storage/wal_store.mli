@@ -27,6 +27,13 @@ val log_op : t -> Wal.op -> unit
 (** Appends one record and commits it — unless inside {!batch}, where
     records accumulate in the group-commit buffer. *)
 
+val log_ops : t -> Wal.op list -> unit
+(** Appends the records as one group and commits them with a single
+    device write (none at all inside {!batch}, whose commit covers
+    them).  A crash mid-write persists a prefix of the group — each
+    record replays individually, so recovery yields the state after
+    that prefix. *)
+
 val commit : ?sync:bool -> t -> unit
 
 val batch : t -> (unit -> 'a) -> 'a

@@ -1,29 +1,35 @@
 #!/bin/sh
-# Perf regression gate for the structural-join path.
+# Perf regression gate for the structural-join and update-ingestion
+# paths.
 #
-#   scripts/bench_gate.sh           run the parallel-join benchmark and
-#                                   fail if single-domain throughput
-#                                   drops more than 10% below the
-#                                   committed BENCH_join.json baseline
+#   scripts/bench_gate.sh           run the parallel-join and batched-
+#                                   update benchmarks and fail if
+#                                   either single-domain join
+#                                   throughput or LD batch-64 update
+#                                   throughput drops more than 10%
+#                                   below its committed baseline
+#                                   (BENCH_join.json / BENCH_update.json)
 #   scripts/bench_gate.sh --smoke   no benchmark run: just check that
-#                                   the committed baseline parses and
-#                                   carries a positive throughput (wired
+#                                   the committed baselines parse and
+#                                   carry positive throughputs (wired
 #                                   into `dune runtest` so a malformed
 #                                   or stale baseline fails fast)
 #
-# The baseline is regenerated with:
+# The baselines are regenerated with:
 #   dune exec bench/main.exe -- parallel
-# which rewrites BENCH_join.json in place; commit it alongside any
-# intentional perf change.
+#   dune exec bench/main.exe -- update
+# which rewrite BENCH_join.json / BENCH_update.json in place; commit
+# them alongside any intentional perf change.
 set -eu
 
 root=$(dirname "$0")/..
-baseline="$root/BENCH_join.json"
+join_baseline="$root/BENCH_join.json"
+update_baseline="$root/BENCH_update.json"
 
 # Pulls the domains=1 pairs_per_sec out of a BENCH_join.json.  The
 # bench writer emits compact single-line JSON with a fixed key order
 # inside each series entry, so stream-editing is enough — no jq here.
-extract() {
+extract_join() {
   tr -d ' \t\n' < "$1" \
     | grep -o '"domains":1,[^}]*' \
     | head -n 1 \
@@ -31,28 +37,59 @@ extract() {
     | cut -d: -f2
 }
 
-[ -f "$baseline" ] || { echo "bench_gate: missing $baseline" >&2; exit 1; }
-base=$(extract "$baseline")
-case "$base" in
-  ''|0) echo "bench_gate: no domains=1 pairs_per_sec in $baseline" >&2; exit 1 ;;
+# Pulls the top-level ld_batch64_segs_per_sec out of a
+# BENCH_update.json (the gate metric: LD engine, WAL off, batch 64).
+extract_update() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"ld_batch64_segs_per_sec":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+[ -f "$join_baseline" ] || { echo "bench_gate: missing $join_baseline" >&2; exit 1; }
+[ -f "$update_baseline" ] || { echo "bench_gate: missing $update_baseline" >&2; exit 1; }
+join_base=$(extract_join "$join_baseline")
+case "$join_base" in
+  ''|0) echo "bench_gate: no domains=1 pairs_per_sec in $join_baseline" >&2; exit 1 ;;
+esac
+update_base=$(extract_update "$update_baseline")
+case "$update_base" in
+  ''|0) echo "bench_gate: no ld_batch64_segs_per_sec in $update_baseline" >&2; exit 1 ;;
 esac
 
 if [ "${1:-}" = "--smoke" ]; then
-  echo "bench_gate: smoke OK (baseline ${base} pairs/s)"
+  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s)"
   exit 0
 fi
 
+fail=0
+
 tmp=$(mktemp /tmp/bench_gate.XXXXXX.json)
-trap 'rm -f "$tmp"' EXIT
+tmp2=$(mktemp /tmp/bench_gate.XXXXXX.json)
+trap 'rm -f "$tmp" "$tmp2"' EXIT
+
 (cd "$root" && dune exec bench/main.exe -- parallel --json "$tmp" >/dev/null)
-new=$(extract "$tmp")
-case "$new" in
+join_new=$(extract_join "$tmp")
+case "$join_new" in
   ''|0) echo "bench_gate: benchmark produced no domains=1 pairs_per_sec" >&2; exit 1 ;;
 esac
-
-if awk -v n="$new" -v b="$base" 'BEGIN { exit !(n + 0 >= 0.9 * b) }'; then
-  echo "bench_gate: OK (${new} pairs/s vs baseline ${base}, floor 90%)"
+if awk -v n="$join_new" -v b="$join_base" 'BEGIN { exit !(n + 0 >= 0.9 * b) }'; then
+  echo "bench_gate: join OK (${join_new} pairs/s vs baseline ${join_base}, floor 90%)"
 else
-  echo "bench_gate: FAIL (${new} pairs/s is below 90% of baseline ${base})" >&2
-  exit 1
+  echo "bench_gate: join FAIL (${join_new} pairs/s is below 90% of baseline ${join_base})" >&2
+  fail=1
 fi
+
+(cd "$root" && dune exec bench/main.exe -- update --json "$tmp2" >/dev/null)
+update_new=$(extract_update "$tmp2")
+case "$update_new" in
+  ''|0) echo "bench_gate: benchmark produced no ld_batch64_segs_per_sec" >&2; exit 1 ;;
+esac
+if awk -v n="$update_new" -v b="$update_base" 'BEGIN { exit !(n + 0 >= 0.9 * b) }'; then
+  echo "bench_gate: update OK (${update_new} segs/s vs baseline ${update_base}, floor 90%)"
+else
+  echo "bench_gate: update FAIL (${update_new} segs/s is below 90% of baseline ${update_base})" >&2
+  fail=1
+fi
+
+exit $fail

@@ -24,4 +24,5 @@ let () =
       ("storage", Test_storage.suite);
       ("recovery", Test_recovery.suite);
       ("governor", Test_governor.suite);
+      ("update_batch", Test_update_batch.suite);
     ]

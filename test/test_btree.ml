@@ -128,6 +128,86 @@ let test_tuple_keys () =
   check_int "prefix count" 3 (List.length !seen);
   T.check_invariants t
 
+(* --- bulk construction --------------------------------------------- *)
+
+let sorted_pairs n = Array.init n (fun i -> (i * 3, i))
+
+let test_of_sorted_sizes () =
+  (* Sweep sizes around the leaf and group boundaries for several
+     branchings: every tree must satisfy the full invariant check and
+     reproduce the input exactly. *)
+  List.iter
+    (fun branching ->
+      List.iter
+        (fun n ->
+          let pairs = sorted_pairs n in
+          let t = IT.of_sorted ~branching pairs in
+          IT.check_invariants t;
+          check_int (Printf.sprintf "length b=%d n=%d" branching n) n (IT.length t);
+          check_bool "contents" true (IT.to_list t = Array.to_list pairs);
+          Array.iter
+            (fun (k, v) -> check_bool "find" true (IT.find t k = Some v))
+            pairs;
+          check_bool "absent key" true (IT.find t (-1) = None))
+        [ 0; 1; 5; 32; 33; 1000 ])
+    [ 4; 7; 32 ]
+
+let test_of_sorted_matches_incremental () =
+  (* Bulk load and one-at-a-time insertion agree on every observable. *)
+  let pairs = Array.init 777 (fun i -> (i * 2, i)) in
+  let bulk = IT.of_sorted ~branching:8 pairs in
+  let incr = build ~branching:8 (Array.to_list pairs) in
+  check_bool "same contents" true (IT.to_list bulk = IT.to_list incr);
+  check_bool "same min" true (IT.min_binding bulk = IT.min_binding incr);
+  check_bool "same max" true (IT.max_binding bulk = IT.max_binding incr)
+
+let test_of_sorted_rejects_unsorted () =
+  Alcotest.check_raises "descending"
+    (Invalid_argument "Bptree.of_sorted: keys not strictly increasing")
+    (fun () -> ignore (IT.of_sorted [| (2, ()); (1, ()) |]));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Bptree.of_sorted: keys not strictly increasing")
+    (fun () -> ignore (IT.of_sorted [| (1, ()); (1, ()) |]))
+
+let test_load_sorted () =
+  let t = IT.create ~branching:4 () in
+  IT.load_sorted t (sorted_pairs 100);
+  IT.check_invariants t;
+  check_int "loaded" 100 (IT.length t);
+  Alcotest.check_raises "non-empty target"
+    (Invalid_argument "Bptree.load_sorted: tree not empty")
+    (fun () -> IT.load_sorted t (sorted_pairs 3))
+
+let test_insert_sorted_batch_basic () =
+  (* Interleave: evens pre-existing, odds batched in. *)
+  let t = build ~branching:4 (List.init 50 (fun i -> (i * 2, -i))) in
+  IT.insert_sorted_batch t (Array.init 50 (fun i -> ((i * 2) + 1, i)));
+  IT.check_invariants t;
+  check_int "merged length" 100 (IT.length t);
+  check_bool "sorted" true (List.map fst (IT.to_list t) = List.init 100 Fun.id)
+
+let test_insert_sorted_batch_replaces () =
+  let t = build ~branching:4 [ (1, "old"); (5, "keep"); (9, "old") ] in
+  IT.insert_sorted_batch t [| (1, "new"); (7, "add"); (9, "new") |];
+  IT.check_invariants t;
+  check_int "no duplicates" 4 (IT.length t);
+  check_bool "replaced 1" true (IT.find t 1 = Some "new");
+  check_bool "kept 5" true (IT.find t 5 = Some "keep");
+  check_bool "replaced 9" true (IT.find t 9 = Some "new")
+
+let test_insert_sorted_batch_edges () =
+  let t = IT.create ~branching:4 () in
+  IT.insert_sorted_batch t [||];
+  check_bool "empty batch, empty tree" true (IT.is_empty t);
+  IT.insert_sorted_batch t [| (42, "x") |];
+  IT.check_invariants t;
+  check_bool "singleton into empty" true (IT.to_list t = [ (42, "x") ]);
+  IT.insert_sorted_batch t [||];
+  check_int "empty batch is a no-op" 1 (IT.length t);
+  Alcotest.check_raises "duplicate keys within the batch"
+    (Invalid_argument "Bptree.insert_sorted_batch: keys not strictly increasing")
+    (fun () -> IT.insert_sorted_batch t [| (1, "a"); (1, "b") |])
+
 (* --- properties ---------------------------------------------------- *)
 
 type op = Insert of int * int | Remove of int
@@ -181,9 +261,50 @@ let prop_iter_from_matches_map =
       in
       List.rev !scanned = expected)
 
+(* Both sides of the small-batch/rebuild crossover against Map. *)
+let prop_insert_sorted_batch_matches_map =
+  let gen =
+    QCheck2.Gen.(
+      triple ops_gen
+        (list_size (int_range 0 300) (pair (int_bound 400) (int_bound 1000)))
+        (oneofl [ 4; 7; 32 ]))
+  in
+  QCheck2.Test.make ~name:"insert_sorted_batch = Map adds" ~count:300 gen
+    (fun (ops, batch, branching) ->
+      let t, reference = apply_ops branching ops in
+      (* Dedup and sort the batch the way callers must. *)
+      let batch =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) batch |> Array.of_list
+      in
+      IT.insert_sorted_batch t batch;
+      IT.check_invariants t;
+      let expected =
+        Array.fold_left (fun m (k, v) -> IMap.add k v m) reference batch
+      in
+      IT.to_list t = IMap.bindings expected)
+
+let prop_of_sorted_matches_map =
+  QCheck2.Test.make ~name:"of_sorted = Map of_list" ~count:300
+    QCheck2.Gen.(
+      pair (list_size (int_range 0 600) (pair int (int_bound 1000))) (oneofl [ 4; 7; 32 ]))
+    (fun (pairs, branching) ->
+      let pairs =
+        List.sort_uniq (fun (a, _) (b, _) -> compare a b) pairs |> Array.of_list
+      in
+      let t = IT.of_sorted ~branching pairs in
+      IT.check_invariants t;
+      IT.to_list t = Array.to_list pairs)
+
 let props =
   List.map QCheck_alcotest.to_alcotest
-    [ prop_matches_map 4; prop_matches_map 7; prop_matches_map 32; prop_iter_from_matches_map ]
+    [
+      prop_matches_map 4;
+      prop_matches_map 7;
+      prop_matches_map 32;
+      prop_iter_from_matches_map;
+      prop_insert_sorted_batch_matches_map;
+      prop_of_sorted_matches_map;
+    ]
 
 let suite =
   [
@@ -200,5 +321,12 @@ let suite =
     Alcotest.test_case "height logarithmic" `Quick test_height_grows_logarithmically;
     Alcotest.test_case "branching < 4 rejected" `Quick test_small_branching_rejected;
     Alcotest.test_case "tuple keys + prefix scan" `Quick test_tuple_keys;
+    Alcotest.test_case "of_sorted size sweep" `Quick test_of_sorted_sizes;
+    Alcotest.test_case "of_sorted = incremental" `Quick test_of_sorted_matches_incremental;
+    Alcotest.test_case "of_sorted rejects unsorted" `Quick test_of_sorted_rejects_unsorted;
+    Alcotest.test_case "load_sorted" `Quick test_load_sorted;
+    Alcotest.test_case "insert_sorted_batch interleave" `Quick test_insert_sorted_batch_basic;
+    Alcotest.test_case "insert_sorted_batch replaces" `Quick test_insert_sorted_batch_replaces;
+    Alcotest.test_case "insert_sorted_batch edges" `Quick test_insert_sorted_batch_edges;
   ]
   @ props

@@ -278,6 +278,105 @@ let test_admission_bound_under_race () =
   check_int "every attempt accounted" (8 * 200)
     (s.Governor.completed_reads + s.Governor.rejected_overload)
 
+(* --- write coalescing ------------------------------------------------- *)
+
+let wide_config =
+  { Governor.max_readers = 1; max_writer_queue = 8; default_deadline_s = None }
+
+let test_concurrent_inserts_coalesce_exactly () =
+  (* 4 domains hammer [insert] concurrently.  Whatever grouping the
+     leader/follower protocol settles on, accounting must stay exact:
+     every insert admitted, completed, and visible in the document —
+     a lost follower result or a double-applied group member would
+     show up in one of these counts. *)
+  let gov = Governor.create ~config:wide_config () in
+  let per_domain = 25 in
+  let domains =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              match Governor.insert gov ~gp:0 "<a/>" with
+              | Ok () -> ()
+              | Error r -> Alcotest.fail ("insert shed: " ^ Governor.rejection_to_string r)
+            done))
+  in
+  Array.iter Domain.join domains;
+  let n = 4 * per_domain in
+  let s = Governor.stats gov in
+  check_int "admitted" n s.Governor.admitted_writes;
+  check_int "completed" n s.Governor.completed_writes;
+  check_int "failed" 0 s.Governor.failed;
+  (* Parked followers hold their admission slot, so at most one slot
+     per domain is ever occupied: nothing sheds under an 8-slot bound. *)
+  check_int "no overload" 0 s.Governor.rejected_overload;
+  Shared_db.read (Governor.shared gov) (fun db ->
+      check_int "every element landed" n (Lazy_db.element_count db);
+      Lazy_db.check db)
+
+let test_group_error_isolation () =
+  (* One doomed insert (gp far past the end) races three good ones
+     while a direct writer holds the lock, so the four pile up behind
+     it — typically one leader plus parked followers.  Only the doomed
+     caller may see the exception; the group fallback must land the
+     other three. *)
+  let gov = Governor.create ~config:wide_config () in
+  let entered = Atomic.make false and release = Atomic.make false in
+  let holder =
+    Domain.spawn (fun () ->
+        Shared_db.write (Governor.shared gov) (fun _db ->
+            Atomic.set entered true;
+            spin_until release))
+  in
+  spin_until entered;
+  let good =
+    Array.init 3 (fun _ -> Domain.spawn (fun () -> Governor.insert gov ~gp:0 "<a/>"))
+  in
+  let bad =
+    Domain.spawn (fun () ->
+        match Governor.insert gov ~gp:1_000_000 "<b/>" with
+        | exception Invalid_argument _ -> `Raised
+        | Ok () -> `Applied
+        | Error r -> `Rejected r)
+  in
+  (* All four admitted (counters are atomics, safe to poll) before the
+     lock frees: they are parked or blocked, none has run yet. *)
+  while (Governor.stats gov).Governor.admitted_writes < 4 do
+    Domain.cpu_relax ()
+  done;
+  Atomic.set release true;
+  ignore (Domain.join holder);
+  Array.iter
+    (fun d ->
+      match Domain.join d with
+      | Ok () -> ()
+      | Error r -> Alcotest.fail ("good insert lost: " ^ Governor.rejection_to_string r))
+    good;
+  (match Domain.join bad with
+  | `Raised -> ()
+  | `Applied -> Alcotest.fail "out-of-range gp applied"
+  | `Rejected r -> Alcotest.fail ("typed rejection instead of raise: " ^ Governor.rejection_to_string r));
+  let s = Governor.stats gov in
+  check_int "admitted" 4 s.Governor.admitted_writes;
+  check_int "three completed" 3 s.Governor.completed_writes;
+  check_int "one failed" 1 s.Governor.failed;
+  Shared_db.read (Governor.shared gov) (fun db ->
+      check_int "good elements only" 3 (Lazy_db.element_count db);
+      Lazy_db.check db)
+
+let test_insert_many () =
+  (* The governed batch entry point: one admission, one write, all
+     edits applied under sequential-application gp semantics. *)
+  let gov = Governor.create ~config:wide_config () in
+  (match Governor.insert_many gov [ (0, "<a/>"); (4, "<b/>") ] with
+  | Ok () -> ()
+  | Error r -> Alcotest.fail ("batch shed: " ^ Governor.rejection_to_string r));
+  let s = Governor.stats gov in
+  check_int "one admission for the batch" 1 s.Governor.admitted_writes;
+  check_int "completed" 1 s.Governor.completed_writes;
+  Shared_db.read (Governor.shared gov) (fun db ->
+      check_int "both edits applied" 2 (Lazy_db.element_count db);
+      Lazy_db.check db)
+
 (* --- the chaos harness, quick slice ----------------------------------- *)
 
 let chaos engine domains seed () =
@@ -299,6 +398,10 @@ let suite =
     Alcotest.test_case "retry schedule is seeded jittered backoff" `Quick test_retry_schedule;
     Alcotest.test_case "retry scope" `Quick test_retry_gives_up_and_passes_through;
     Alcotest.test_case "admission bound holds under race" `Quick test_admission_bound_under_race;
+    Alcotest.test_case "concurrent inserts coalesce exactly" `Quick
+      test_concurrent_inserts_coalesce_exactly;
+    Alcotest.test_case "group error isolation" `Quick test_group_error_isolation;
+    Alcotest.test_case "insert_many" `Quick test_insert_many;
     Alcotest.test_case "chaos LD sequential" `Quick (chaos Lazy_db.LD 1 1);
     Alcotest.test_case "chaos LD parallel" `Quick (chaos Lazy_db.LD 4 2);
     Alcotest.test_case "chaos STD" `Quick (chaos Lazy_db.STD 1 3);

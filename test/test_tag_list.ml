@@ -28,7 +28,19 @@ let test_append_and_sort () =
   Tag_list.append t ~tid:7 (entry 2 [ 0; 2 ] 1);
   check_bool "dirty" true (Tag_list.is_dirty t);
   check_bool "entries refuses dirty reads" true
-    (match Tag_list.entries t ~tid:7 with exception Failure _ -> true | _ -> false);
+    (match Tag_list.entries t ~tid:7 with
+    | exception Tag_list.Dirty_tag_list 7 -> true
+    | _ -> false);
+  (* Dirtiness is per tag: a clean tag stays readable while tag 7 is
+     dirty, and a soiled one raises with its own tid. *)
+  Tag_list.add_sorted t ~tid:9 (entry 1 [ 0; 1 ] 1) ~gp_of;
+  check_int "clean tag readable beside a dirty one" 1
+    (Array.length (Tag_list.entries t ~tid:9));
+  Tag_list.append t ~tid:9 (entry 2 [ 0; 2 ] 1);
+  check_bool "exception names the requested tag" true
+    (match Tag_list.entries t ~tid:9 with
+    | exception Tag_list.Dirty_tag_list 9 -> true
+    | _ -> false);
   Tag_list.sort_all t ~gp_of;
   Alcotest.(check (list int)) "sorted" [ 4; 2; 1 ] (sids t 7);
   check_bool "clean" false (Tag_list.is_dirty t)
@@ -69,6 +81,60 @@ let test_tids_and_sizes () =
   check_bool "size" true (Tag_list.size_bytes t > 0);
   check_bool "ops counted" true (Tag_list.path_ops t >= 2)
 
+(* Differential: the run-merge sort path (default) against the legacy
+   full re-sort (LXU_TAGSORT=resort), on an op schedule with gp
+   collisions, mid-stream sorts, decrements and segment removals.  The
+   two must agree entry-for-entry — including the order of equal-gp
+   entries, which is where a naive unstable sort would diverge. *)
+let test_merge_matches_resort () =
+  (* Plenty of collisions: five distinct gps over ~40 sids. *)
+  let gp_of sid = sid mod 5 * 10 in
+  let ops rng =
+    List.init 400 (fun i ->
+        let tid = 1 + Lxu_workload.Rng.int rng 6 in
+        let sid = 1 + Lxu_workload.Rng.int rng 40 in
+        match Lxu_workload.Rng.int rng 10 with
+        | 0 -> `Sort
+        | 1 -> `Decrement (tid, sid)
+        | 2 when i > 50 -> `Remove_segment sid
+        | 3 | 4 -> `Add_sorted (tid, entry sid [ 0; sid ] (1 + (i mod 3)))
+        | _ -> `Append (tid, entry sid [ 0; sid ] (1 + (i mod 3))))
+  in
+  let apply mode ops =
+    Unix.putenv "LXU_TAGSORT" mode;
+    let t = Tag_list.create () in
+    List.iter
+      (function
+        | `Sort -> Tag_list.sort_all t ~gp_of
+        | `Decrement (tid, sid) -> Tag_list.decrement t ~tid ~sid ~by:1
+        | `Remove_segment sid -> Tag_list.remove_segment t ~sid
+        | `Add_sorted (tid, e) -> Tag_list.add_sorted t ~tid e ~gp_of
+        | `Append (tid, e) -> Tag_list.append t ~tid e)
+      ops;
+    Tag_list.sort_all t ~gp_of;
+    Unix.putenv "LXU_TAGSORT" "";
+    t
+  in
+  List.iter
+    (fun seed ->
+      (* The same schedule twice: entries must be fresh per run
+         (counts are mutable), so regenerate from the same seed. *)
+      let merged = apply "merge" (ops (Lxu_workload.Rng.create seed)) in
+      let resorted = apply "resort" (ops (Lxu_workload.Rng.create seed)) in
+      Alcotest.(check (list int)) "same tags" (Tag_list.tids merged) (Tag_list.tids resorted);
+      List.iter
+        (fun tid ->
+          let dump t =
+            Tag_list.entries t ~tid |> Array.to_list
+            |> List.map (fun e -> (e.Tag_list.sid, Array.to_list e.Tag_list.path, e.Tag_list.count))
+          in
+          check_bool
+            (Printf.sprintf "seed %d tid %d identical" seed tid)
+            true
+            (dump merged = dump resorted))
+        (Tag_list.tids merged))
+    [ 1; 2; 3; 42 ]
+
 let suite =
   [
     Alcotest.test_case "add_sorted keeps gp order" `Quick test_add_sorted;
@@ -77,4 +143,5 @@ let suite =
     Alcotest.test_case "decrement" `Quick test_decrement;
     Alcotest.test_case "remove_segment" `Quick test_remove_segment;
     Alcotest.test_case "tids and sizes" `Quick test_tids_and_sizes;
+    Alcotest.test_case "merge sort path = full re-sort" `Quick test_merge_matches_resort;
   ]
