@@ -9,8 +9,8 @@
 
    Available targets: fig11a fig11b fig12 fig13 fig14 fig15 fig16
    fig17a fig17b fig17c joins cache labels boxes micro parallel
-   recovery overload update.  (fig14 and fig15 share one workload and
-   always run together.)
+   recovery overload update mvcc.  (fig14 and fig15 share one workload
+   and always run together.)
 
    Set LAZYXML_BENCH_SCALE=k to multiply the key dataset sizes of
    figs 12-16 by k (paper-scale runs take minutes).
@@ -42,6 +42,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("recovery", "recovery", Fig_recovery.run);
     ("overload", "overload", Fig_overload.run);
     ("update", "update", Fig_update.run);
+    ("mvcc", "mvcc", Fig_mvcc.run);
   ]
 
 (* Strips [--json <path>] (shared by all JSON-emitting figures) from

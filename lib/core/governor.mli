@@ -6,14 +6,21 @@
     single structural join over a hot tag list can monopolize the
     system.  The governor closes that gap for the live traffic path:
 
+    Admission bounds {e work in flight}, not access: since
+    {!Shared_db} went MVCC, readers run lock-free against pinned
+    snapshots and only writers serialize among themselves, so the
+    governor's slots ration CPU and memory, never mutual exclusion.
+
     {ul
     {- {b Bounded readers}: at most [max_readers] queries in flight;
        an arriving read past the bound is {e shed} immediately with
        {!rejection.Overloaded} instead of queueing — saturation
-       degrades into fast typed errors, callers retry with backoff.}
+       degrades into fast typed errors, callers retry with backoff.
+       An admitted reader holds its slot while it queries its pinned
+       snapshot; it never waits on — or delays — a writer.}
     {- {b Bounded writer queue}: at most [max_writer_queue] updates
        admitted (queued or running); beyond that, [Overloaded].
-       Admitted writers serialize on the {!Shared_db} write lock as
+       Admitted writers serialize on the {!Shared_db} writer lock as
        before — updates are tiny under the lazy scheme, so the queue
        drains quickly.}
     {- {b Deadlines and cancellation}: every operation takes an
@@ -97,7 +104,9 @@ val read :
   ?cancel:Lxu_util.Deadline.Cancel.t ->
   (Lxu_util.Deadline.guard option -> Lazy_db.t -> 'a) ->
   ('a, rejection) result
-(** Admission-bounded shared query.  The callback receives the
+(** Admission-bounded snapshot query: the database handed to the
+    callback is the newest published snapshot, pinned for the call
+    (see {!Shared_db.read}).  The callback receives the
     operation's guard; pass it to {!Lazy_db.query}/{!Lazy_db.count}/
     {!Path_query.eval} (or check it yourself in long loops) so
     deadlines and cancels are observed {e during} the work, not only

@@ -13,6 +13,7 @@ type t = {
   domains : int;
   mutable pool : Lxu_util.Domain_pool.t option;  (* created on first parallel query *)
   mutable durable : Lxu_storage.Wal_store.t option;  (* WAL home, when durability is on *)
+  mutable epoch : int;  (* committed update operations so far — the MVCC version number *)
 }
 
 type query_stats = {
@@ -55,10 +56,29 @@ let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains
         (Lxu_storage.Wal_store.fresh ~dir ~mode:(mode_of_engine engine) ~index_attributes)
   in
   { engine; backend = make_backend ~index_attributes ?cache_bytes engine; pack_threshold;
-    domains; pool = None; durable }
+    domains; pool = None; durable; epoch = 0 }
 
 let engine t = t.engine
 let domains t = t.domains
+let epoch t = t.epoch
+
+let is_snapshot t =
+  match t.backend with Log log -> Update_log.is_frozen log | Store _ -> false
+
+let snapshot_guard t who =
+  if is_snapshot t then invalid_arg (who ^ ": frozen snapshot, updates go to the live database")
+
+(* Every successful update commits one epoch: the counter bumps, and
+   the cache learns the new epoch so this operation's segment
+   invalidations retire exactly there — snapshots pinned at or below
+   the previous epoch keep their versions.  The WAL record (when
+   durability is on) is already written by the caller; epoch numbers
+   are session-local and never persisted. *)
+let commit_epoch t =
+  t.epoch <- t.epoch + 1;
+  match t.backend with
+  | Log log -> Seg_cache.publish (Update_log.cache log) ~epoch:t.epoch
+  | Store _ -> ()
 
 (* Parallel queries draw on the process-wide shared pool for their
    domain count: databases are cheap and numerous, domains are neither
@@ -88,7 +108,8 @@ let rec insert t ~gp text =
   | Log log -> ignore (Update_log.insert log ~gp text)
   | Store store -> Interval_store.insert store ~gp text);
   log_op t (Lxu_storage.Wal.Insert { gp; text });
-  maybe_pack t
+  maybe_pack t;
+  commit_epoch t
 
 and insert_many t edits =
   match edits with
@@ -109,14 +130,16 @@ and insert_many t edits =
     | Some s ->
       Lxu_storage.Wal_store.log_ops s
         (List.map (fun (gp, text) -> Lxu_storage.Wal.Insert { gp; text }) edits));
-    maybe_pack t
+    maybe_pack t;
+    commit_epoch t
 
 and remove t ~gp ~len =
   (match t.backend with
   | Log log -> Update_log.remove log ~gp ~len
   | Store store -> Interval_store.remove store ~gp ~len);
   log_op t (Lxu_storage.Wal.Remove { gp; len });
-  maybe_pack t
+  maybe_pack t;
+  commit_epoch t
 
 (* The paper's "maintenance hours" automated: past the threshold the
    whole database is re-indexed as a single segment. *)
@@ -204,6 +227,7 @@ let text t =
     invalid_arg "Lazy_db.text: the STD engine keeps labels only, not the document text"
 
 let rebuild t =
+  snapshot_guard t "Lazy_db.rebuild";
   match t.backend with
   | Store _ -> ()
   | Log log ->
@@ -215,9 +239,11 @@ let rebuild t =
     in
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
     t.backend <- Log fresh;
-    log_op t Lxu_storage.Wal.Rebuild
+    log_op t Lxu_storage.Wal.Rebuild;
+    commit_epoch t
 
 let pack_subtree t ~gp ~len =
+  snapshot_guard t "Lazy_db.pack_subtree";
   match t.backend with
   | Store _ -> ()
   | Log log ->
@@ -228,11 +254,29 @@ let pack_subtree t ~gp ~len =
     Update_log.remove log ~gp ~len;
     ignore (Update_log.insert log ~gp slice);
     (* One logical record: replay re-executes the pack, keeping the
-       recovered segment structure identical. *)
-    log_op t (Lxu_storage.Wal.Pack { gp; len })
+       recovered segment structure identical.  The remove + insert pair
+       above is one logical update, so it commits one epoch: a reader
+       pinned below it sees the whole pre-pack state. *)
+    log_op t (Lxu_storage.Wal.Pack { gp; len });
+    commit_epoch t
 
 let log t = match t.backend with Log log -> Some log | Store _ -> None
 let store t = match t.backend with Store s -> Some s | Log _ -> None
+
+(* A snapshot is a full Lazy_db over a frozen clone of the log, pinned
+   at the current epoch: queries run the same engines over the same
+   shared cache, just with epoch-pinned lookups.  No durability handle
+   and no pack threshold — snapshots never write. *)
+let snapshot t =
+  match t.backend with
+  | Store _ ->
+    invalid_arg "Lazy_db.snapshot: the STD engine keeps no versioned state (use LD or LS)"
+  | Log log ->
+    let frozen = Update_log.freeze log ~epoch:t.epoch in
+    { engine = t.engine; backend = Log frozen; pack_threshold = None; domains = t.domains;
+      pool = None; durable = None; epoch = t.epoch }
+
+let with_snapshot t f = f (snapshot t)
 
 let cache_stats t =
   match t.backend with
@@ -268,7 +312,8 @@ let of_log ?domains lg =
     match Update_log.mode lg with Update_log.Lazy_dynamic -> LD | Update_log.Lazy_static -> LS
   in
   { engine; backend = Log lg; pack_threshold = None;
-    domains = resolve_domains ~who:"Lazy_db.of_log" domains; pool = None; durable = None }
+    domains = resolve_domains ~who:"Lazy_db.of_log" domains; pool = None; durable = None;
+    epoch = 0 }
 
 let checkpoint t =
   match (t.durable, t.backend) with

@@ -84,6 +84,39 @@ val engine : t -> engine
 val domains : t -> int
 (** The configured query parallelism (1 = sequential). *)
 
+(** {2 MVCC snapshots}
+
+    Every successful update ({!insert}, {!insert_many}, {!remove},
+    {!rebuild}, {!pack_subtree}) commits one {e epoch} — a
+    session-local version number published to the read-side element
+    cache, so the segment invalidations of epoch [e] take effect
+    exactly at [e] and snapshots pinned below keep their versions. *)
+
+val epoch : t -> int
+(** Committed update operations so far (0 for a fresh database); for a
+    {!snapshot}, the epoch it is pinned at. *)
+
+val snapshot : t -> t
+(** An immutable snapshot of the database at its current epoch: a
+    frozen clone of the update log (segment texts and element arrays
+    shared, bookkeeping copied) served by the same query engines and
+    the same element cache, with every columnar lookup pinned at the
+    snapshot's epoch.  Queries on the snapshot and updates on the live
+    database may run concurrently from different domains without any
+    lock — {!Shared_db} builds its lock-free reader path on exactly
+    this.  Updates and maintenance on the snapshot raise
+    [Invalid_argument]; queries, counts, {!text}, {!check} and
+    {!save} all work.
+    @raise Invalid_argument for the [STD] engine, which keeps no
+    versioned state. *)
+
+val with_snapshot : t -> (t -> 'a) -> 'a
+(** [with_snapshot t f] runs [f] on {!snapshot}[ t] — the multi-op
+    read-transaction surface: every query [f] issues sees the same
+    epoch no matter how many updates commit meanwhile. *)
+
+val is_snapshot : t -> bool
+
 val insert : t -> gp:int -> string -> unit
 (** Inserts a well-formed fragment at global byte position [gp].
     @raise Invalid_argument on out-of-bounds positions or empty text.

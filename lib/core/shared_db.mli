@@ -1,16 +1,26 @@
 (** Concurrent access to a lazy XML database — the concurrency
     direction the paper leaves as future work (§6).
 
-    A classic reader–writer discipline over {!Lazy_db}: any number of
-    concurrent queries, updates exclusive, writers preferred so a
-    steady query stream cannot starve the update feed.  The natural
-    fit for the lazy scheme: updates are already tiny (that is the
-    paper's point), so the write lock is held briefly even for large
-    segment insertions.
+    For the lazy engines this is MVCC with snapshot isolation: every
+    committing update publishes an immutable frozen snapshot of the
+    update log (see {!Lazy_db.snapshot}), and a reader pins the newest
+    published snapshot on entry — an O(1) critical section — then
+    evaluates its queries against it {e without holding any lock}.
+    Readers never block writers, writers never block readers; writers
+    serialize among themselves, preserving the WAL's serializable
+    update history exactly as before.  Superseded snapshots are
+    retained while any reader is pinned to them and reclaimed when the
+    last pin drops, at which point the shared element cache's retired
+    column versions are swept too ({!Lxu_seglog.Seg_cache.reclaim}).
 
-    Engines: [LD] (queries are read-only once the log is maintained)
-    and [STD].  [LS] is rejected — its deferred sorting makes the
-    first query after an update a writer, defeating shared reads. *)
+    The [STD] engine keeps the previous reader–writer lock (writer
+    preference): it relabels its one global interval list in place and
+    has no versioned state to snapshot.
+
+    Engines: [LD] and [STD].  [LS] is rejected — its deferred sorting
+    makes the first query after an update a writer, defeating shared
+    reads (use {!Lazy_db.with_snapshot} directly for single-writer LS
+    setups). *)
 
 type t
 
@@ -24,7 +34,7 @@ val create :
 (** [domains] and [durability] as in {!Lazy_db.create}: queries of the
     wrapped database fan out over a shared domain pool when
     [domains > 1], and writers append their WAL records under the
-    write lock, so the on-disk log always reflects a serializable
+    writer lock, so the on-disk log always reflects a serializable
     update history.
     @raise Invalid_argument for the [LS] engine. *)
 
@@ -34,36 +44,87 @@ val recover : ?domains:int -> string -> t * Lxu_storage.Recovery.report
     @raise Invalid_argument if the recovered log is [LS]-mode. *)
 
 val checkpoint : t -> unit
-(** Snapshots and rotates the WAL under the write lock.
+(** Snapshots and rotates the WAL under the writer lock.  Commits no
+    epoch, so pinned readers are unaffected.
     @raise Invalid_argument if the database has no WAL. *)
 
 val close : t -> unit
-(** Closes the WAL (if any) under the write lock. *)
+(** Closes the WAL (if any) under the writer lock. *)
 
 val insert : t -> gp:int -> string -> unit
-(** Exclusive update. *)
+(** Serialized update; publishes a new snapshot on success. *)
 
 val insert_many : t -> (int * string) list -> unit
-(** Batched exclusive update: the whole batch is applied — and its WAL
-    record group flushed — under one write-lock hold (see
-    {!Lazy_db.insert_many}), so readers never observe a partially
-    applied batch. *)
+(** Batched serialized update: the whole batch is applied — and its
+    WAL record group flushed — under one writer-lock hold (see
+    {!Lazy_db.insert_many}) and published as {e one} snapshot version,
+    so readers never observe a partially applied batch. *)
 
 val remove : t -> gp:int -> len:int -> unit
-(** Exclusive update. *)
+(** Serialized update; publishes a new snapshot on success. *)
 
 val count : t -> ?axis:Lazy_db.axis -> anc:string -> desc:string -> unit -> int
-(** Shared query. *)
+(** Lock-free snapshot query. *)
 
 val path_count : t -> string -> int
-(** Shared path-expression query. *)
+(** Lock-free snapshot path-expression query. *)
 
 val read : t -> (Lazy_db.t -> 'a) -> 'a
-(** Runs [f] under the read lock.  [f] must not update the database. *)
+(** Runs [f] against the newest published snapshot, pinned for the
+    duration of the call — no lock is held while [f] runs (lazy
+    engines).  Every query [f] issues sees the same epoch; updates
+    committing meanwhile become visible to {e later} reads only.  [f]
+    must not update the database (the snapshot raises
+    [Invalid_argument] if it tries).  Under [STD], runs [f] on the
+    live database under the read lock as before. *)
 
 val write : t -> (Lazy_db.t -> 'a) -> 'a
-(** Runs [f] under the write lock. *)
+(** Runs [f] on the live database under the writer lock.  All epochs
+    [f] commits are published as one new snapshot version when it
+    returns (also on exception: every committed {!Lazy_db} op is
+    all-or-nothing, so whatever prefix committed is consistent and
+    becomes visible). *)
+
+(** {2 Explicit snapshot handles}
+
+    {!read} brackets pin/unpin around a callback; these expose the
+    same pinning as a first-class value, for multi-step read
+    transactions that outlive a callback scope (and for tests that
+    park a reader across writer activity). *)
+
+type snapshot
+
+val begin_snapshot : t -> snapshot
+(** Pins the newest published snapshot.
+    @raise Invalid_argument under [STD]. *)
+
+val snapshot_db : snapshot -> Lazy_db.t
+(** The pinned frozen database; valid until {!end_snapshot}.
+    @raise Invalid_argument after {!end_snapshot}. *)
+
+val snapshot_epoch : snapshot -> int
+
+val end_snapshot : snapshot -> unit
+(** Releases the pin (idempotent).  Dropping the last pin of a
+    superseded version reclaims it and sweeps the element cache. *)
+
+(** {2 Introspection} *)
 
 val stats : t -> int * int
 (** [(reads_completed, writes_completed)] — exact: the counters are
     atomics, so no completion is ever lost to a racing update. *)
+
+val current_epoch : t -> int
+(** Epoch of the newest published snapshot (0 under [STD]). *)
+
+type mvcc_stats = {
+  versions : int;  (** retained snapshot versions, including current *)
+  pinned : int;  (** pins held right now, over all versions *)
+  published_epoch : int;
+  floor : int;  (** oldest epoch any reader may still pin *)
+}
+
+val mvcc_stats : t -> mvcc_stats option
+(** [None] under [STD].  At quiescence (no pinned readers),
+    [versions = 1] and [pinned = 0] — the leak check the MVCC harness
+    asserts. *)

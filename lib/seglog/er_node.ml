@@ -13,7 +13,7 @@ type t = {
   mutable parent : t option;
   children : t Vec.t;
   tombstones : (int * int) Vec.t;
-  elems : elem Vec.t;
+  mutable elems : elem Vec.t;
 }
 
 let make ~sid ~gp ~lp ~base_level ~text ~elems =
@@ -118,6 +118,33 @@ let global_extent t e = global_extent_span t ~start:e.start ~stop:e.stop
 let rec iter_subtree t f =
   f t;
   Vec.iter (fun c -> iter_subtree c f) t.children
+
+let rec clone n =
+  (* [text] is immutable and [elems] is only ever replaced wholesale
+     (never mutated in place), so both are shared; [tombstones] and
+     [children] are mutated in place by updates and get fresh Vecs. *)
+  let c =
+    {
+      sid = n.sid;
+      gp = n.gp;
+      len = n.len;
+      lp = n.lp;
+      orig_len = n.orig_len;
+      base_level = n.base_level;
+      text = n.text;
+      parent = None;
+      children = Vec.create ();
+      tombstones = Vec.of_array (Vec.to_array n.tombstones);
+      elems = n.elems;
+    }
+  in
+  Vec.iter
+    (fun k ->
+      let kc = clone k in
+      kc.parent <- Some c;
+      Vec.push c.children kc)
+    n.children;
+  c
 
 let check t =
   let fail fmt = Printf.ksprintf failwith fmt in

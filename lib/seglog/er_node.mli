@@ -31,7 +31,10 @@ type t = {
   tombstones : (int * int) Lxu_util.Vec.t;
       (** deleted virtual ranges of own text; sorted, disjoint,
           non-adjacent *)
-  elems : elem Lxu_util.Vec.t;  (** surviving elements, sorted by [start] *)
+  mutable elems : elem Lxu_util.Vec.t;
+      (** surviving elements, sorted by [start].  Replaced wholesale on
+          element removal — never mutated in place — so frozen clones
+          can share the Vec (see {!clone}). *)
 }
 
 val make_root : unit -> t
@@ -100,6 +103,12 @@ val global_extent_span : t -> start:int -> stop:int -> int * int
 
 val iter_subtree : t -> (t -> unit) -> unit
 (** Pre-order traversal of the node and its descendants. *)
+
+val clone : t -> t
+(** Deep structural copy of the subtree for frozen snapshots: fresh
+    node records, children and tombstone Vecs (both mutated in place
+    by updates); shares the immutable [text] and the replace-only
+    [elems] Vec.  The clone's [parent] is [None]. *)
 
 val check : t -> unit
 (** Validates subtree invariants: children sorted and disjoint,

@@ -1,4 +1,5 @@
-(** Columnar per-[(tid, sid)] element cache (read-side).
+(** Columnar per-[(tid, sid)] element cache — now a versioned snapshot
+    table (read-side MVCC).
 
     The join hot path used to re-materialize every surviving segment's
     element set from the element-index B{^+}-tree on {e every} query —
@@ -9,29 +10,34 @@
     ([starts]/[stops]/[levels] as unboxed [int array]s, sorted by
     start) of one tag's elements inside one segment.
 
-    {b Epoch invalidation.}  The cache keeps a per-segment epoch
-    counter.  {!invalidate_segment} bumps it; entries record the epoch
-    they were filled under and are discarded lazily on their next
-    lookup.  {!Update_log} bumps epochs from [insert] and [remove] for
-    exactly the touched segments — no full flushes, mirroring
-    [Tag_list]'s per-tag dirty bits.  A whole-log rebuild (pack,
-    recovery) creates a fresh log and therefore a fresh, cold cache.
+    {b Versioning.}  Entries carry a validity interval
+    [[born, retired)] over global {e epochs} (one epoch per committed
+    write transaction, published by [Shared_db]).  A lookup at epoch
+    [e] hits iff [born <= e < retired].  {!invalidate_segment} retires
+    the segment's live entries at the {e next} publishable epoch, so
+    readers pinned at or below the current epoch keep their snapshots
+    while later epochs re-materialize.  Retired versions are kept for
+    pinned readers and reclaimed once the {e floor} — the oldest epoch
+    any reader still pins — passes them ({!reclaim}), or lazily on
+    lookup.  Logs that never publish epochs (plain single-threaded
+    [Update_log]s) keep the floor at {!latest}, which makes retirement
+    degrade to exactly the old behavior: a retired entry is dropped on
+    its next lookup and counted as a stale drop.
 
     {b Bounds.}  Entries live on an LRU list under a byte budget
     ([max_bytes], default {!default_max_bytes}, overridable with the
     [LXU_CACHE_BYTES] environment variable); inserting past the budget
-    evicts from the cold end.  A budget of [0] (or negative) disables
-    the cache entirely: lookups miss without locking or counting, adds
-    are no-ops — the uncached path stays byte-identical to the
-    pre-cache code, with zero overhead.
+    evicts from the cold end — retired versions included, which is
+    safe: a pinned reader that misses simply re-materializes from its
+    frozen skeleton.  A budget of [0] (or negative) disables the cache
+    entirely: lookups miss without locking or counting, adds are
+    no-ops — the uncached path stays byte-identical to the pre-cache
+    code, with zero overhead.
 
     {b Concurrency.}  All operations are serialized by an internal
-    mutex, so concurrent [Shared_db] readers may fetch through the
-    cache safely.  [cols] snapshots are immutable and may be shared
-    read-only across domains; under the domain pool, [Lazy_join]
-    materializes snapshots during its sequential merge pass and worker
-    domains only ever read captured arrays — they never touch the
-    cache itself. *)
+    mutex, so concurrent pinned readers and the single writer may use
+    one cache safely.  [cols] snapshots are immutable and may be
+    shared read-only across domains. *)
 
 type cols = { starts : int array; stops : int array; levels : int array }
 (** One segment's elements of one tag in local document order:
@@ -47,21 +53,33 @@ type stats = {
   hits : int;
   misses : int;  (** includes stale drops; [hits + misses = lookups] *)
   evictions : int;  (** entries evicted by the byte budget *)
-  invalidations : int;  (** epoch bumps ({!invalidate_segment} calls) *)
-  stale_drops : int;  (** entries discarded on lookup after an epoch bump *)
-  entries : int;  (** live entries right now *)
+  invalidations : int;  (** {!invalidate_segment} calls *)
+  stale_drops : int;  (** retired entries discarded on lookup once below the floor *)
+  stale_skips : int;  (** adds refused because the filler's epoch predates the
+                          segment's last invalidation *)
+  retired_entries : int;  (** retired versions currently held for pinned readers *)
+  reclaimed : int;  (** retired versions dropped by {!reclaim} sweeps *)
+  entries : int;  (** entries right now, live and retired *)
   bytes : int;  (** accounted bytes right now; [<= max_bytes] *)
   max_bytes : int;
+  epoch : int;  (** latest published epoch *)
+  floor : int;  (** oldest epoch a reader may still pin *)
 }
 
 type t
+
+val latest : int
+(** The epoch mutable (non-frozen) logs read and fill at: strictly
+    above every publishable epoch, so a lookup at [latest] sees
+    exactly the live entries.  The default for {!find} / {!add}. *)
 
 val default_max_bytes : unit -> int
 (** [LXU_CACHE_BYTES] when set to a valid integer, else 64 MiB. *)
 
 val create : ?max_bytes:int -> unit -> t
 (** [max_bytes] defaults to {!default_max_bytes}; [<= 0] disables the
-    cache (see above). *)
+    cache (see above).  A fresh cache is at epoch 0 with the floor at
+    {!latest} (no pinned readers). *)
 
 val enabled : t -> bool
 val max_bytes : t -> int
@@ -71,21 +89,45 @@ val entry_bytes : int -> int
     payloads plus header/bookkeeping overhead) — exposed for eviction
     tests. *)
 
+val find_at : t -> epoch:int -> tid:int -> sid:int -> cols option
+(** LRU-touching lookup of the version valid at [epoch].  Versions
+    retired at or below the floor are dropped on the way and counted
+    as stale drops. *)
+
 val find : t -> tid:int -> sid:int -> cols option
-(** LRU-touching lookup.  Returns [None] (and drops the entry) when
-    the segment's epoch has moved since the entry was filled. *)
+(** [find_at] at {!latest} — the live (non-pinned) lookup. *)
+
+val add_at : t -> epoch:int -> tid:int -> sid:int -> cols -> unit
+(** Inserts the snapshot for [(tid, sid)], replacing any live version,
+    at the hot end; evicts from the cold end until the budget holds.
+    The new version is valid from the segment's last invalidation
+    epoch onward.  Skipped (counted as a stale skip) when [epoch]
+    predates that invalidation — the filler's snapshot belongs to a
+    version this cache can no longer place.  A snapshot larger than
+    the whole budget is not cached at all. *)
 
 val add : t -> tid:int -> sid:int -> cols -> unit
-(** Inserts (or replaces) the snapshot for [(tid, sid)] at the hot end
-    and evicts from the cold end until the budget holds.  A snapshot
-    larger than the whole budget is not cached at all. *)
+(** [add_at] at {!latest} — the live (non-frozen) fill. *)
 
 val invalidate_segment : t -> sid:int -> unit
-(** Bumps segment [sid]'s epoch: every cached [(_, sid)] entry is dead
-    and will be dropped on its next lookup (or by LRU pressure). *)
+(** Retires segment [sid]'s live versions at the next publishable
+    epoch (current epoch + 1): epochs at or below the current one keep
+    them, later epochs re-materialize. *)
+
+val publish : t -> epoch:int -> unit
+(** Raises the cache's current epoch to [epoch] (monotonic max — a
+    fresh cache installed by pack/rebuild starts at 0 while version
+    numbers keep rising).  Call after the write's invalidations, so
+    they retire exactly at the published epoch. *)
+
+val reclaim : t -> floor:int -> unit
+(** Sets the reclamation floor to [floor] (the oldest epoch any reader
+    still pins) and sweeps out versions retired at or below it. *)
+
+val current_epoch : t -> int
 
 val clear : t -> unit
-(** Drops every entry (counters are kept) — the benchmark's
-    cold-cache reset. *)
+(** Drops every entry (counters, epoch and floor are kept) — the
+    benchmark's cold-cache reset. *)
 
 val stats : t -> stats

@@ -175,6 +175,21 @@ let remove_segment t ~sid =
       remove_where t s.pending (fun e -> e.sid = sid))
     t.lists
 
+let clone t =
+  let lists = Hashtbl.create (max 16 (Hashtbl.length t.lists)) in
+  (* Entry records have a mutable [count] (decremented by removes on
+     the live side), so each gets a fresh record; the [path] arrays are
+     write-once and shared. *)
+  let copy_run v =
+    Vec.of_array (Array.map (fun e -> { e with count = e.count }) (Vec.to_array v))
+  in
+  Hashtbl.iter
+    (fun tid s ->
+      Hashtbl.add lists tid
+        { entries = copy_run s.entries; pending = copy_run s.pending; dirty = s.dirty })
+    t.lists;
+  { lists; dirty_count = t.dirty_count; path_ops = t.path_ops }
+
 let entries t ~tid =
   match Hashtbl.find_opt t.lists tid with
   | None -> [||]

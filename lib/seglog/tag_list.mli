@@ -60,6 +60,11 @@ val remove_segment : t -> sid:int -> unit
 (** Removes the segment's entries from every per-tag list (full
     segment deletion). *)
 
+val clone : t -> t
+(** Independent copy for frozen snapshots: fresh slot and entry
+    records (entry counts are mutable), shared write-once [path]
+    arrays.  Dirty bits and cost counters carry over. *)
+
 val entries : t -> tid:int -> entry array
 (** Entries for a tag in global-position order.
     @raise Dirty_tag_list if {e this tag's} list is dirty (call

@@ -13,6 +13,8 @@ let intern t tag =
     Vec.push t.names tag;
     tid
 
+let clone t = { ids = Hashtbl.copy t.ids; names = Vec.of_array (Vec.to_array t.names) }
+
 let find t tag = Hashtbl.find_opt t.ids tag
 
 let name t tid =

@@ -11,6 +11,10 @@ val create : unit -> t
 val intern : t -> string -> int
 (** [intern t tag] returns the tid of [tag], allocating one if new. *)
 
+val clone : t -> t
+(** Independent copy for frozen snapshots ({!intern} on the live side
+    mutates the table). *)
+
 val find : t -> string -> int option
 (** The tid of [tag], if it has been seen. *)
 

@@ -27,6 +27,11 @@ type t = {
   mutable live_segments : int;  (* segments alive, dummy root excluded *)
   branching : int;
   metrics : metrics;
+  frozen : bool;  (* immutable snapshot produced by [freeze] *)
+  qepoch : int;  (* cache epoch for lookups/fills: the snapshot's pinned
+                    epoch, or [Seg_cache.latest] on the mutable side *)
+  frozen_elems : int;  (* element count captured at freeze time (the
+                          snapshot carries no element index) *)
 }
 
 let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) ?cache_bytes
@@ -55,6 +60,9 @@ let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) 
         segments_removed = 0;
         elements_removed = 0;
       };
+    frozen = false;
+    qepoch = Seg_cache.latest;
+    frozen_elems = 0;
   }
 
 let mode t = t.mode
@@ -71,7 +79,11 @@ let segment_count_walk t =
   Er_node.iter_subtree t.root (fun _ -> incr n);
   !n - 1
 
-let element_count t = Element_index.size t.element_index
+let element_count t =
+  if t.frozen then t.frozen_elems else Element_index.size t.element_index
+
+let is_frozen t = t.frozen
+let epoch t = t.qepoch
 let root t = t.root
 let registry t = t.registry
 let element_index t = t.element_index
@@ -162,8 +174,12 @@ let tag_counts (node : Er_node.t) =
     node.Er_node.elems;
   counts
 
+let frozen_guard t who =
+  if t.frozen then invalid_arg (who ^ ": frozen snapshot, updates go to the live log")
+
 let insert t ~gp text =
   let open Er_node in
+  frozen_guard t "Update_log.insert";
   if text = "" then invalid_arg "Update_log.insert: empty segment";
   if gp < 0 || gp > t.root.len then invalid_arg "Update_log.insert: gp out of bounds";
   let nodes = Lxu_xml.Parser.parse_fragment text in
@@ -209,6 +225,7 @@ let insert t ~gp text =
 
 let insert_batch ?pool t edits =
   let open Er_node in
+  frozen_guard t "Update_log.insert_batch";
   match edits with
   | [] -> []
   | _ ->
@@ -356,6 +373,7 @@ let validate_remove t ~gp ~len =
 
 let remove t ~gp ~len =
   let open Er_node in
+  frozen_guard t "Update_log.remove";
   if len <= 0 then invalid_arg "Update_log.remove: non-positive length";
   if gp < 0 || gp + len > t.root.len then invalid_arg "Update_log.remove: range out of bounds";
   validate_remove t ~gp ~len;
@@ -399,8 +417,9 @@ let remove t ~gp ~len =
           invalid_arg "Update_log.remove: range splits an element (not a well-formed fragment)";
         if fully_inside then note_removed_elem s.sid e else Vec.push kept e)
       s.elems;
-    Vec.clear s.elems;
-    Vec.iter (Vec.push s.elems) kept;
+    (* Replace the Vec wholesale instead of clearing in place: frozen
+       snapshots share [elems] with the live tree. *)
+    s.elems <- kept;
     add_tombstone s vu vv
   in
   (* Recursive removal in pre-removal global coordinates; [x, y) is
@@ -497,6 +516,7 @@ let remove t ~gp ~len =
 (* --- query-side accessors ------------------------------------------ *)
 
 let mark_stale t =
+  frozen_guard t "Update_log.mark_stale";
   t.sb_dirty <- true;
   Tag_list.mark_dirty t.tag_list
 
@@ -525,14 +545,51 @@ let segments_for_tag t ~tag =
   | None -> [||]
   | Some tid -> Tag_list.entries t.tag_list ~tid
 
-let elements_of t ~tid ~sid = Element_index.elements_of_segment t.element_index ~tid ~sid
+(* Frozen snapshots carry no element index; their per-segment element
+   sets come straight from the cloned skeletons, whose [elems] Vecs are
+   already in ascending-[start] order — the same order the index scan
+   produces. *)
+let cols_of_node (n : Er_node.t) ~tid =
+  let count = ref 0 in
+  Vec.iter (fun (e : Er_node.elem) -> if e.Er_node.tid = tid then incr count) n.Er_node.elems;
+  let k = !count in
+  let starts = Array.make k 0 and stops = Array.make k 0 and levels = Array.make k 0 in
+  let i = ref 0 in
+  Vec.iter
+    (fun (e : Er_node.elem) ->
+      if e.Er_node.tid = tid then begin
+        starts.(!i) <- e.Er_node.start;
+        stops.(!i) <- e.Er_node.stop;
+        levels.(!i) <- e.Er_node.level;
+        incr i
+      end)
+    n.Er_node.elems;
+  { Seg_cache.starts; stops; levels }
+
+let elements_of t ~tid ~sid =
+  if t.frozen then begin
+    let n = node_of_sid t sid in
+    let acc = Vec.create () in
+    Vec.iter
+      (fun (e : Er_node.elem) ->
+        if e.Er_node.tid = tid then
+          Vec.push acc
+            { Element_index.tid; sid; start = e.Er_node.start; stop = e.Er_node.stop;
+              level = e.Er_node.level })
+      n.Er_node.elems;
+    Vec.to_array acc
+  end
+  else Element_index.elements_of_segment t.element_index ~tid ~sid
 
 let elements_cols t ~tid ~sid =
-  match Seg_cache.find t.cache ~tid ~sid with
+  match Seg_cache.find_at t.cache ~epoch:t.qepoch ~tid ~sid with
   | Some c -> c
   | None ->
-    let c = Element_index.cols_of_segment t.element_index ~tid ~sid in
-    Seg_cache.add t.cache ~tid ~sid c;
+    let c =
+      if t.frozen then cols_of_node (node_of_sid t sid) ~tid
+      else Element_index.cols_of_segment t.element_index ~tid ~sid
+    in
+    Seg_cache.add_at t.cache ~epoch:t.qepoch ~tid ~sid c;
     c
 
 (* --- materialization oracle ---------------------------------------- *)
@@ -611,7 +668,15 @@ let check t =
           in
           ignore key)
         n.Er_node.elems);
-  if Element_index.size t.element_index <> !skeleton_count then
+  (* Frozen snapshots carry no element index; their stored element
+     count stands in for it. *)
+  if t.frozen then begin
+    if t.frozen_elems <> !skeleton_count then
+      failwith
+        (Printf.sprintf "frozen element count is %d, skeletons have %d" t.frozen_elems
+           !skeleton_count)
+  end
+  else if Element_index.size t.element_index <> !skeleton_count then
     failwith
       (Printf.sprintf "element index has %d records, skeletons have %d"
          (Element_index.size t.element_index) !skeleton_count);
@@ -663,6 +728,50 @@ let check t =
     failwith
       (Printf.sprintf "segment counter says %d, ER-tree walk says %d" t.live_segments
          (segment_count_walk t))
+
+(* --- frozen snapshots (MVCC read side) ------------------------------- *)
+
+let freeze t ~epoch =
+  if t.frozen then invalid_arg "Update_log.freeze: already frozen";
+  (* LS logs may be mid-laziness; bring derived structures current so
+     the clone is query-ready without ever needing to mutate. *)
+  prepare_for_query t;
+  let root = Er_node.clone t.root in
+  let pairs = Vec.create () in
+  Er_node.iter_subtree root (fun n -> Vec.push pairs (n.Er_node.sid, n));
+  let pairs = Vec.to_array pairs in
+  Array.sort (fun (a, _) (b, _) -> Int.compare a b) pairs;
+  let sb = Sb.create ~branching:t.branching () in
+  Sb.load_sorted sb pairs;
+  let elems = ref 0 in
+  Er_node.iter_subtree root (fun n -> elems := !elems + Vec.length n.Er_node.elems);
+  {
+    mode = t.mode;
+    index_attributes = t.index_attributes;
+    registry = Tag_registry.clone t.registry;
+    root;
+    sb;
+    sb_dirty = false;
+    tag_list = Tag_list.clone t.tag_list;
+    (* No element index: the snapshot serves element sets from the
+       cloned skeletons, through the shared versioned cache. *)
+    element_index = Element_index.create ~branching:t.branching ();
+    cache = t.cache;
+    next_sid = t.next_sid;
+    live_segments = t.live_segments;
+    branching = t.branching;
+    metrics =
+      {
+        gp_shifts = t.metrics.gp_shifts;
+        nodes_visited = t.metrics.nodes_visited;
+        segments_inserted = t.metrics.segments_inserted;
+        segments_removed = t.metrics.segments_removed;
+        elements_removed = t.metrics.elements_removed;
+      };
+    frozen = true;
+    qepoch = epoch;
+    frozen_elems = !elems;
+  }
 
 (* --- snapshots ------------------------------------------------------- *)
 

@@ -150,6 +150,26 @@ val tag_list_size_bytes : t -> int
 val size_bytes : t -> int
 (** Total update-log footprint (Figure 11a). *)
 
+val freeze : t -> epoch:int -> t
+(** [freeze t ~epoch] returns an immutable snapshot of [t] pinned at
+    cache epoch [epoch]: a clone of the ER-tree (sharing the immutable
+    segment texts and element arrays), SB-tree, tag lists and registry,
+    {e sharing} [t]'s {!Seg_cache} — its columnar lookups and fills go
+    through {!Seg_cache.find_at} at the pinned epoch, so the snapshot
+    keeps reading retired versions while the live log moves on.  The
+    snapshot carries no element index; {!elements_of} and cache misses
+    materialize from the cloned segment skeletons instead.  The clone
+    is query-ready ([prepare_for_query] is run first, so an LS source
+    log is brought current) and every update entry point raises
+    [Invalid_argument] on it.  O(segments + tag-list entries); element
+    arrays and texts are shared, not copied. *)
+
+val is_frozen : t -> bool
+
+val epoch : t -> int
+(** The pinned cache epoch of a frozen snapshot, or
+    {!Seg_cache.latest} on a live log. *)
+
 val check : t -> unit
 (** Full invariant check across the ER-tree, SB-tree, element index
     and tag-list (test helper). @raise Failure on violation. *)

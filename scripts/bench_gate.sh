@@ -1,30 +1,41 @@
 #!/bin/sh
-# Perf regression gate for the structural-join and update-ingestion
-# paths.
+# Perf regression gate for the structural-join, update-ingestion and
+# concurrent-read paths.
 #
-#   scripts/bench_gate.sh           run the parallel-join and batched-
-#                                   update benchmarks and fail if
-#                                   either single-domain join
-#                                   throughput or LD batch-64 update
-#                                   throughput drops more than 10%
-#                                   below its committed baseline
-#                                   (BENCH_join.json / BENCH_update.json)
+#   scripts/bench_gate.sh           run the parallel-join, batched-
+#                                   update and MVCC mixed read/write
+#                                   benchmarks and fail if single-
+#                                   domain join throughput or LD
+#                                   batch-64 update throughput drops
+#                                   more than 10% below its committed
+#                                   baseline (BENCH_join.json /
+#                                   BENCH_update.json), or if p99 read
+#                                   latency under a streaming writer
+#                                   leaves the acceptance envelope:
+#                                   mixed p99 must stay within 1.25x
+#                                   the same run's read-only p99, or
+#                                   at worst within 10% of the
+#                                   committed ratio (BENCH_mvcc.json)
 #   scripts/bench_gate.sh --smoke   no benchmark run: just check that
-#                                   the committed baselines parse and
-#                                   carry positive throughputs (wired
+#                                   the committed baselines parse,
+#                                   carry positive throughputs, and
+#                                   that the committed MVCC ratio is
+#                                   inside its acceptance bound (wired
 #                                   into `dune runtest` so a malformed
 #                                   or stale baseline fails fast)
 #
 # The baselines are regenerated with:
 #   dune exec bench/main.exe -- parallel
 #   dune exec bench/main.exe -- update
-# which rewrite BENCH_join.json / BENCH_update.json in place; commit
-# them alongside any intentional perf change.
+#   dune exec bench/main.exe -- mvcc
+# which rewrite BENCH_join.json / BENCH_update.json / BENCH_mvcc.json
+# in place; commit them alongside any intentional perf change.
 set -eu
 
 root=$(dirname "$0")/..
 join_baseline="$root/BENCH_join.json"
 update_baseline="$root/BENCH_update.json"
+mvcc_baseline="$root/BENCH_mvcc.json"
 
 # Pulls the domains=1 pairs_per_sec out of a BENCH_join.json.  The
 # bench writer emits compact single-line JSON with a fixed key order
@@ -46,6 +57,17 @@ extract_update() {
     | cut -d: -f2
 }
 
+# Pulls the top-level p99_ratio (mixed-phase p99 read latency over the
+# same run's read-only p99) out of a BENCH_mvcc.json.  The ratio is
+# the gate metric because it is normalized against host weather: both
+# phases run interleaved in one process on one machine.
+extract_mvcc() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"p99_ratio":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
 [ -f "$join_baseline" ] || { echo "bench_gate: missing $join_baseline" >&2; exit 1; }
 [ -f "$update_baseline" ] || { echo "bench_gate: missing $update_baseline" >&2; exit 1; }
 join_base=$(extract_join "$join_baseline")
@@ -56,9 +78,18 @@ update_base=$(extract_update "$update_baseline")
 case "$update_base" in
   ''|0) echo "bench_gate: no ld_batch64_segs_per_sec in $update_baseline" >&2; exit 1 ;;
 esac
+[ -f "$mvcc_baseline" ] || { echo "bench_gate: missing $mvcc_baseline" >&2; exit 1; }
+mvcc_base=$(extract_mvcc "$mvcc_baseline")
+case "$mvcc_base" in
+  ''|0) echo "bench_gate: no p99_ratio in $mvcc_baseline" >&2; exit 1 ;;
+esac
+if ! awk -v r="$mvcc_base" 'BEGIN { exit !(r + 0 <= 1.25) }'; then
+  echo "bench_gate: committed MVCC p99 ratio ${mvcc_base} exceeds the 1.25x acceptance bound" >&2
+  exit 1
+fi
 
 if [ "${1:-}" = "--smoke" ]; then
-  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s)"
+  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s, mvcc p99 ratio ${mvcc_base})"
   exit 0
 fi
 
@@ -66,7 +97,8 @@ fail=0
 
 tmp=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp2=$(mktemp /tmp/bench_gate.XXXXXX.json)
-trap 'rm -f "$tmp" "$tmp2"' EXIT
+tmp3=$(mktemp /tmp/bench_gate.XXXXXX.json)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
 
 (cd "$root" && dune exec bench/main.exe -- parallel --json "$tmp" >/dev/null)
 join_new=$(extract_join "$tmp")
@@ -89,6 +121,23 @@ if awk -v n="$update_new" -v b="$update_base" 'BEGIN { exit !(n + 0 >= 0.9 * b) 
   echo "bench_gate: update OK (${update_new} segs/s vs baseline ${update_base}, floor 90%)"
 else
   echo "bench_gate: update FAIL (${update_new} segs/s is below 90% of baseline ${update_base})" >&2
+  fail=1
+fi
+
+# p99 read latency under a streaming writer: the fresh run's
+# mixed/read-only p99 ratio must sit inside the 1.25x acceptance
+# bound, or — so a committed ratio already near the bound still gets
+# the same 10% grace the throughput gates have — within the committed
+# ratio's 90% threshold (ratio is lower-is-better, hence base / 0.9).
+(cd "$root" && dune exec bench/main.exe -- mvcc --json "$tmp3" >/dev/null)
+mvcc_new=$(extract_mvcc "$tmp3")
+case "$mvcc_new" in
+  ''|0) echo "bench_gate: benchmark produced no p99_ratio" >&2; exit 1 ;;
+esac
+if awk -v n="$mvcc_new" -v b="$mvcc_base" 'BEGIN { exit !(n + 0 <= 1.25 || n + 0 <= b / 0.9) }'; then
+  echo "bench_gate: mvcc OK (p99 ratio ${mvcc_new} vs baseline ${mvcc_base}, bound 1.25x)"
+else
+  echo "bench_gate: mvcc FAIL (p99 ratio ${mvcc_new} exceeds the 1.25x bound and baseline ${mvcc_base} + 10%)" >&2
   fail=1
 fi
 

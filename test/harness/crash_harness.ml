@@ -74,6 +74,14 @@ let apply db = function
   | Wal.Pack { gp; len } -> Lazy_db.pack_subtree db ~gp ~len
   | Wal.Rebuild -> Lazy_db.rebuild db
 
+let op_to_string = function
+  | Wal.Insert { gp; text } -> Printf.sprintf "insert gp=%d %S" gp text
+  | Wal.Remove { gp; len } -> Printf.sprintf "remove gp=%d len=%d" gp len
+  | Wal.Pack { gp; len } -> Printf.sprintf "pack gp=%d len=%d" gp len
+  | Wal.Rebuild -> "rebuild"
+
+let ops_to_string ops = String.concat "; " (List.map op_to_string ops)
+
 let fingerprint db =
   let buf = Buffer.create 512 in
   Buffer.add_string buf (Lazy_db.text db);
@@ -147,8 +155,7 @@ let recover_image ~tag ~snapshot ~wal_prefix =
       Lazy_db.close db;
       (db, report))
 
-let run_one ?checkpoint_at ~seed ~target_ops () =
-  let ops = gen_ops ~seed ~target_ops in
+let run_one_inner ?checkpoint_at ~seed ~ops () =
   let n = List.length ops in
   let checkpoint_at =
     match checkpoint_at with Some k when k >= n -> None | other -> other
@@ -250,6 +257,16 @@ let run_one ?checkpoint_at ~seed ~target_ops () =
         done
       end;
       !recoveries)
+
+let run_one ?checkpoint_at ~seed ~target_ops () =
+  let ops = gen_ops ~seed ~target_ops in
+  (* Any divergence reports the exact schedule: the seed regenerates
+     it, and the printed prefix replays even without the generator. *)
+  try run_one_inner ?checkpoint_at ~seed ~ops ()
+  with Failure msg ->
+    failwith
+      (Printf.sprintf "%s\n  replay: seed=%d target_ops=%d schedule=[%s]" msg seed target_ops
+         (ops_to_string ops))
 
 let run_matrix ~seeds ~target_ops =
   List.iter

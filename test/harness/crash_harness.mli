@@ -13,8 +13,9 @@
     duplicated tails and checks recovery lands exactly on the last
     valid LSN instead of erroring out.
 
-    Failures raise [Failure] with the seed and boundary, so any
-    reported schedule replays exactly. *)
+    Failures raise [Failure] with the seed, the boundary, and the
+    generated schedule prefix ({!ops_to_string}), so any reported
+    failure replays exactly — with or without the generator. *)
 
 val vocabulary : string array
 (** Element tags the generated fragments draw from. *)
@@ -30,6 +31,14 @@ val gen_ops : seed:int -> target_ops:int -> Lxu_storage.Wal.op list
 (** A valid random schedule of about [target_ops] operations. *)
 
 val apply : Lazy_xml.Lazy_db.t -> Lxu_storage.Wal.op -> unit
+
+val op_to_string : Lxu_storage.Wal.op -> string
+(** Human-readable single operation, for replayable failure reports. *)
+
+val ops_to_string : Lxu_storage.Wal.op list -> string
+(** ["; "]-joined {!op_to_string} — the schedule prefix every harness
+    prints on an assertion failure so the run replays without the
+    generator. *)
 
 val fingerprint : Lazy_xml.Lazy_db.t -> string
 (** Text, element/segment counts, and all-pairs join output over the

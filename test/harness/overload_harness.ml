@@ -62,13 +62,19 @@ let reader_iters = 24
 let writer_iters = 16
 
 let run_one ~engine ~domains ~seed () =
+  let setup = Crash_harness.gen_ops ~seed ~target_ops:30 in
+  (* Updates that actually applied, appended under the writer lock —
+     so list order is the writers' serialization order. *)
+  let applied = ref [] in
   let fail fmt =
     Printf.ksprintf
       (fun msg ->
         failwith
-          (Printf.sprintf "overload seed %d engine %s domains %d: %s" seed
+          (Printf.sprintf "overload seed %d engine %s domains %d: %s\n  replay: schedule=[%s]"
+             seed
              (match engine with Lazy_db.LD -> "LD" | Lazy_db.LS -> "LS" | Lazy_db.STD -> "STD")
-             domains msg))
+             domains msg
+             (Crash_harness.ops_to_string (setup @ List.rev !applied))))
       fmt
   in
   let started = Deadline.now () in
@@ -79,12 +85,8 @@ let run_one ~engine ~domains ~seed () =
   in
   let gov = Governor.create ~config ~engine ~index_attributes:true ~domains () in
   (* Preload through the raw Shared_db, outside governor accounting. *)
-  let setup = Crash_harness.gen_ops ~seed ~target_ops:30 in
   List.iter (fun op -> Shared_db.write (Governor.shared gov) (fun db -> Crash_harness.apply db op))
     setup;
-  (* Updates that actually applied, appended under the write lock —
-     so list order is the writers' serialization order. *)
-  let applied = ref [] in
   (* --- parked readers: admitted, then spin on the guard until the
      coordinator fires their token ------------------------------------ *)
   let tokens = Array.init n_victims (fun _ -> Deadline.Cancel.create ()) in
@@ -192,6 +194,77 @@ let run_one ~engine ~domains ~seed () =
   Array.iter Domain.join victims;
   Array.iter Domain.join readers;
   Array.iter Domain.join writers;
+  (* --- mixed read/write phase ---------------------------------------- *)
+  (* One writer streams [insert_many] batches while readers keep
+     querying and — under the lazy engines — parked pins hold their
+     epochs across the whole stream.  Readers must never observe a
+     [Dirty_tag_list]: every snapshot they pin is query-ready by
+     construction. *)
+  let shared = Governor.shared gov in
+  let pins =
+    if engine = Lazy_db.STD then [||]
+    else
+      Array.init 2 (fun _ ->
+          let s = Shared_db.begin_snapshot shared in
+          (s, Shared_db.snapshot_epoch s, fingerprint ~engine (Shared_db.snapshot_db s)))
+  in
+  let mixed_writer_tally = tally () in
+  let mixed_reader_tallies = Array.init n_readers (fun _ -> tally ()) in
+  let dirty_seen = Atomic.make 0 in
+  let mixed_stop = Atomic.make false in
+  let mixed_readers =
+    Array.init n_readers (fun i ->
+        Domain.spawn (fun () ->
+            let rng = Rng.create ((seed * 613) + i) in
+            let t = mixed_reader_tallies.(i) in
+            while not (Atomic.get mixed_stop) do
+              let anc = Rng.pick rng Crash_harness.vocabulary in
+              let desc = Rng.pick rng Crash_harness.vocabulary in
+              (try
+                 if Rng.bool rng then note t (Governor.count gov ~deadline_s:0.5 ~anc ~desc ())
+                 else
+                   note t
+                     (Governor.path_count gov ~deadline_s:0.5
+                        (Printf.sprintf "//%s//%s" anc desc))
+               with Lxu_seglog.Tag_list.Dirty_tag_list _ -> Atomic.incr dirty_seen)
+            done))
+  in
+  let mixed_batches = 6 in
+  let mixed_batch_len = 8 in
+  let mixed_rng = Rng.create (seed * 1201) in
+  for _ = 1 to mixed_batches do
+    (* All-at-gp-0 batches are valid by construction no matter what
+       already applied. *)
+    let batch =
+      List.init mixed_batch_len (fun _ -> (0, Rng.pick mixed_rng Crash_harness.fragments))
+    in
+    let attempt () =
+      let r = Governor.insert_many gov batch in
+      note mixed_writer_tally r;
+      (match r with
+      | Ok () ->
+        List.iter (fun (gp, text) -> applied := Wal.Insert { gp; text } :: !applied) batch
+      | Error _ -> ());
+      r
+    in
+    ignore (Governor.retry ~attempts:4 ~base_ms:0.2 ~max_ms:2. ~rng:mixed_rng attempt)
+  done;
+  Atomic.set mixed_stop true;
+  Array.iter Domain.join mixed_readers;
+  if Atomic.get dirty_seen > 0 then
+    fail "%d reads observed Dirty_tag_list during the insert_many stream" (Atomic.get dirty_seen);
+  (* The parked pins held their epoch — and their bytes — across the
+     whole write stream. *)
+  Array.iter
+    (fun (s, epoch0, fp0) ->
+      if Shared_db.snapshot_epoch s <> epoch0 then
+        fail "parked pin moved from epoch %d to %d" epoch0 (Shared_db.snapshot_epoch s);
+      let fp = fingerprint ~engine (Shared_db.snapshot_db s) in
+      if fp <> fp0 then
+        fail "parked pin at epoch %d changed under the insert_many stream\n  was %S\n  now %S"
+          epoch0 fp0 fp;
+      Shared_db.end_snapshot s)
+    pins;
   (* --- assertions ---------------------------------------------------- *)
   let max_cancel_latency_s = ref 0. in
   Array.iteri
@@ -208,7 +281,9 @@ let run_one ~engine ~domains ~seed () =
   if !max_cancel_latency_s > 5. then
     fail "cancellation took %.3fs to be observed" !max_cancel_latency_s;
   let tallies =
-    Array.concat [ victim_tallies; reader_tallies; writer_tallies ]
+    Array.concat
+      [ victim_tallies; reader_tallies; writer_tallies; [| mixed_writer_tally |];
+        mixed_reader_tallies ]
     |> Array.fold_left
          (fun (ok, ov, ti, ca) t -> (ok + t.t_ok, ov + t.t_overl, ti + t.t_timeo, ca + t.t_canc))
          (0, 0, 0, 0)

@@ -23,7 +23,20 @@
        applied (under the write lock, so in serialization order), and
        the post-pressure fingerprint must be byte-identical to an
        unpressured reference database replaying exactly those
-       updates: shed or killed operations left no trace.}} *)
+       updates: shed or killed operations left no trace.}}
+
+    After the pressure phase a {b mixed read/write phase} runs: one
+    writer streams {!Lazy_xml.Governor.insert_many} batches while
+    reader domains keep querying and — under the lazy engines — two
+    parked snapshot pins hold their epochs across the whole stream.
+    Asserted: no read ever observes
+    [Lxu_seglog.Tag_list.Dirty_tag_list], the parked pins keep their
+    epoch {e and} their bytes, and the phase's attempts fold into the
+    same bucket-exact shed accounting as the pressure phase.
+
+    Failures raise [Failure] with the seed, engine, domain count and
+    the full applied schedule ({!Crash_harness.ops_to_string}), so any
+    report replays deterministically. *)
 
 type report = {
   ok : int;  (** attempts that completed *)

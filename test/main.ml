@@ -25,4 +25,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("governor", Test_governor.suite);
       ("update_batch", Test_update_batch.suite);
+      ("mvcc", Test_mvcc.suite);
     ]

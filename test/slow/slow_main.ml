@@ -5,17 +5,23 @@
      bit-flipped / duplicated tails;
    - the full overload chaos matrix: LD and STD engines x sequential
      and 4-domain parallelism x several seeds, each run asserting
-     typed shedding, bounded cancellation and a torn-state-free
-     post-pressure fingerprint;
+     typed shedding, bounded cancellation, a torn-state-free
+     post-pressure fingerprint, and a mixed read/write phase with
+     parked snapshot pins under an insert_many stream;
+   - the full MVCC snapshot-isolation matrix: domains {1,4} x several
+     seeds, every pinned read proved byte-identical to a
+     single-threaded replay frozen at its epoch, with zero leaked
+     versions at quiescence;
    - the full parser mutation-fuzz corpus.
 
-   Quick versions of all three run under the default test alias; this
+   Quick versions of all four run under the default test alias; this
    tier is:
 
      dune build @slow
 
    LXU_CRASH_SEEDS / LXU_CRASH_OPS / LXU_OVERLOAD_SEEDS /
-   LXU_FUZZ_SEEDS override the matrix sizes. *)
+   LXU_MVCC_SEEDS / LXU_MVCC_OPS / LXU_FUZZ_SEEDS override the
+   matrix sizes. *)
 
 let int_env name default =
   match Sys.getenv_opt name with
@@ -36,6 +42,13 @@ let () =
     ~domains:[ 1; 4 ]
     ~seeds:(List.init overload_seeds (fun i -> i + 1));
   Printf.printf "overload matrix: no hangs, typed shedding, fingerprints identical\n%!";
+  let mvcc_seeds = int_env "LXU_MVCC_SEEDS" 8 in
+  let mvcc_ops = int_env "LXU_MVCC_OPS" 40 in
+  Printf.printf "mvcc matrix: domains {1,4} x %d seeds x ~%d ops\n%!" mvcc_seeds mvcc_ops;
+  Lxu_crash_harness.Mvcc_harness.run_matrix
+    ~seeds:(List.init mvcc_seeds (fun i -> i + 1))
+    ~target_ops:mvcc_ops ~domains:[ 1; 4 ];
+  Printf.printf "mvcc matrix: zero isolation divergences, zero leaked versions\n%!";
   let fuzz_seeds = int_env "LXU_FUZZ_SEEDS" 40 in
   Lxu_crash_harness.Parser_fuzz.run_corpus
     ~seeds:(List.init fuzz_seeds (fun i -> (i * 7919) + 1))
