@@ -1,0 +1,145 @@
+(* Autonomous-maintenance churn benchmark: the same compressed
+   "week" of FLUX-style churn (bursts of governed inserts/removes,
+   then measured sweep requests) run twice — once with the background
+   maintainer paying down fragmentation in the idle gap of every
+   epoch, once with no maintenance at all — and compared against a
+   store freshly rebuilt from the final document.
+
+   The paper's position is that laziness trades update speed for debt
+   someone must eventually repay; the maintainer's job is to repay it
+   continuously, so the headline is steady-state query latency:
+
+   - auto-maintenance p99 must stay within 1.15x the freshly rebuilt
+     store's p99 (the store never drifts far from "day one"), while
+   - manual-only p99 degrades measurably above it (the debt is real —
+     skipping maintenance costs you), shown by ER segment counts and
+     chain depth at end of run.
+
+   Steady state is measured after the churn completes, round-robin
+   across the three final stores (one request each per round), so
+   host weather — GC slices, hypervisor steal — lands on every store
+   in proportion instead of deciding one store's tail; the in-churn
+   trajectory p99s ride along in the JSON.  Both churn runs execute
+   the identical schedule (maintenance changes no query-visible state
+   and draws nothing from the generator), so the comparison isolates
+   physical-layout debt.
+
+   Beyond the console table the run writes BENCH_maint.json (or the
+   --json path): the maintenance entry of the repository's perf
+   trajectory, gated by scripts/bench_gate.sh on auto_ratio and
+   manual_ratio.  See EXPERIMENTS.md for the schema. *)
+
+module Maint_harness = Lxu_crash_harness.Maint_harness
+
+let seed = 42
+let epochs = 60 * Bench_util.scale
+let auto_budget = 6
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then Float.nan else sorted.(min (n - 1) (p * (n - 1) / 100))
+
+(* second half of the samples: the steady-state window *)
+let tail a = Array.sub a (Array.length a / 2) (Array.length a - (Array.length a / 2))
+
+let p50_p99 samples =
+  let s = Array.copy samples in
+  Array.sort compare s;
+  (percentile s 50, percentile s 99)
+
+let run () =
+  Bench_util.header
+    "Autonomous maintenance under churn: auto vs manual-only vs freshly rebuilt";
+  Printf.printf
+    "churn: %d epochs x (6 inserts + 0.4 removes), 3 sweep requests per epoch;\n\
+     auto runs <= %d maintenance jobs in each epoch's idle gap; steady state measured\n\
+     round-robin across the three final stores so host weather lands on all of them\n\n"
+    epochs auto_budget;
+  let auto, text, gov_auto =
+    Maint_harness.run_churn_perf ~seed ~epochs ~maintain:(`Auto auto_budget) ()
+  in
+  let manual, _, gov_manual = Maint_harness.run_churn_perf ~seed ~epochs ~maintain:`Manual () in
+  let fresh_db = Maint_harness.fresh_store text in
+  let steady_n = Array.length (tail auto.Maint_harness.latencies_ms) in
+  let governed_sweep gov () =
+    match Lazy_xml.Governor.read gov (fun _ db -> Maint_harness.sweep db) with
+    | Ok () -> ()
+    | Error r -> failwith (Lazy_xml.Governor.rejection_to_string r)
+  in
+  let a_lat, m_lat, f_lat =
+    match
+      Maint_harness.measure_interleaved ~rounds:steady_n
+        [
+          governed_sweep gov_auto;
+          governed_sweep gov_manual;
+          (fun () -> Maint_harness.sweep fresh_db);
+        ]
+    with
+    | [ a; m; f ] -> (a, m, f)
+    | _ -> assert false
+  in
+  let a50, a99 = p50_p99 a_lat in
+  let m50, m99 = p50_p99 m_lat in
+  let f50, f99 = p50_p99 f_lat in
+  let widths = [ 14; 10; 10; 10; 9; 7 ] in
+  Bench_util.columns widths [ "store"; "p50 ms"; "p99 ms"; "segments"; "er depth"; "jobs" ];
+  Bench_util.columns widths
+    [
+      "auto-maint";
+      Bench_util.fmt_ms a50;
+      Bench_util.fmt_ms a99;
+      string_of_int auto.Maint_harness.segments_end;
+      string_of_int auto.Maint_harness.er_depth_end;
+      string_of_int auto.Maint_harness.jobs_run;
+    ];
+  Bench_util.columns widths
+    [
+      "manual-only";
+      Bench_util.fmt_ms m50;
+      Bench_util.fmt_ms m99;
+      string_of_int manual.Maint_harness.segments_end;
+      string_of_int manual.Maint_harness.er_depth_end;
+      "0";
+    ];
+  Bench_util.columns widths
+    [ "fresh-rebuilt"; Bench_util.fmt_ms f50; Bench_util.fmt_ms f99; "1"; "1"; "-" ];
+  Bench_util.sep ();
+  let auto_ratio = a99 /. f99 in
+  let manual_ratio = m99 /. f99 in
+  Printf.printf
+    "document: %d bytes final; steady-state window %d requests per store\n\
+     auto p99 = %.2fx fresh (acceptance: within 1.15x) | manual-only p99 = %.2fx fresh\n"
+    (String.length text) steady_n auto_ratio manual_ratio;
+  if auto.Maint_harness.shed > 0 then
+    Printf.printf "note: %d maintenance ticks shed by admission during the run\n"
+      auto.Maint_harness.shed;
+  let json =
+    Bench_util.(
+      J_obj
+        [
+          ("bench", J_str "maint");
+          ("engine", J_str "LD");
+          ("seed", J_int seed);
+          ("epochs", J_int epochs);
+          ("auto_budget", J_int auto_budget);
+          ("steady_requests", J_int steady_n);
+          ("auto_p50_ms", J_float a50);
+          ("auto_p99_ms", J_float a99);
+          ("manual_p50_ms", J_float m50);
+          ("manual_p99_ms", J_float m99);
+          ("fresh_p50_ms", J_float f50);
+          ("fresh_p99_ms", J_float f99);
+          ("auto_ratio", J_float auto_ratio);
+          ("manual_ratio", J_float manual_ratio);
+          ("auto_segments_end", J_int auto.Maint_harness.segments_end);
+          ("manual_segments_end", J_int manual.Maint_harness.segments_end);
+          ("auto_er_depth_end", J_int auto.Maint_harness.er_depth_end);
+          ("manual_er_depth_end", J_int manual.Maint_harness.er_depth_end);
+          ("auto_jobs", J_int auto.Maint_harness.jobs_run);
+          ("auto_shed", J_int auto.Maint_harness.shed);
+          ("churn_auto_p99_ms", J_float (snd (p50_p99 (tail auto.Maint_harness.latencies_ms))));
+          ( "churn_manual_p99_ms",
+            J_float (snd (p50_p99 (tail manual.Maint_harness.latencies_ms))) );
+        ])
+  in
+  Bench_util.write_json (Bench_util.json_out ~default:"BENCH_maint.json") json

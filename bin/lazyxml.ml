@@ -294,15 +294,42 @@ let save_cmd =
     Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ out)
 
 let restore_cmd =
-  let snap = Arg.(required & pos 0 (some file) None & info [] ~docv:"SNAPSHOT" ~doc:"Snapshot file.") in
-  let run snap =
-    let db = Lazy_db.load snap in
-    Printf.printf "restored %d segments, %d elements, %d bytes of document
-"
-      (Lazy_db.segment_count db) (Lazy_db.element_count db) (Lazy_db.doc_length db)
+  let snap = Arg.(required & pos 0 (some file) None & info [] ~docv:"SNAPSHOT"
+                    ~doc:"Snapshot file, or a WAL durability directory for point-in-time restore.") in
+  let lsn = Arg.(value & opt (some int) None & info [ "lsn" ] ~docv:"N"
+                   ~doc:"Point-in-time bound: rebuild the state as of committed LSN $(docv) \
+                         (requires a WAL directory; default: everything committed).") in
+  let out = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
+                   ~doc:"Also write the restored document text to $(docv).") in
+  let run snap lsn out =
+    let db =
+      if Sys.is_directory snap then begin
+        let lsn = Option.value lsn ~default:max_int in
+        let db, report = Lazy_db.restore_to ~lsn snap in
+        Printf.printf "restored %s as of lsn %d: %d wal record(s) replayed, %d skipped\n" snap
+          report.Lxu_storage.Recovery.last_lsn report.Lxu_storage.Recovery.records_applied
+          report.Lxu_storage.Recovery.records_skipped;
+        db
+      end
+      else begin
+        (match lsn with
+        | Some _ -> failwith "--lsn needs a WAL directory, not an index snapshot file"
+        | None -> ());
+        Lazy_db.load snap
+      end
+    in
+    Printf.printf "restored %d segments, %d elements, %d bytes of document\n"
+      (Lazy_db.segment_count db) (Lazy_db.element_count db) (Lazy_db.doc_length db);
+    match out with
+    | None -> ()
+    | Some path ->
+      write_file path (Lazy_db.text db);
+      Printf.printf "wrote %d bytes to %s\n" (Lazy_db.doc_length db) path
   in
-  Cmd.v (Cmd.info "restore" ~doc:"Restore and validate an index snapshot.")
-    Term.(const run $ snap)
+  Cmd.v
+    (Cmd.info "restore"
+       ~doc:"Restore an index snapshot, or a WAL directory as of a chosen LSN (--lsn).")
+    Term.(const run $ snap $ lsn $ out)
 
 (* --- durability: checkpoint / recover ------------------------------------ *)
 
@@ -371,6 +398,57 @@ let recover_cmd =
        ~doc:"Recover a database from snapshot + WAL, repairing a torn or corrupt tail.")
     Term.(const run $ dir $ out)
 
+(* --- maintenance: compact / backup ---------------------------------------- *)
+
+let compact_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+                   ~doc:"WAL durability directory.") in
+  let pack_segments = Arg.(value & opt int 8 & info [ "pack-segments" ] ~docv:"N"
+                             ~doc:"Pack subtrees holding more than $(docv) live segments.") in
+  let pack_depth = Arg.(value & opt int 4 & info [ "pack-depth" ] ~docv:"N"
+                          ~doc:"Pack subtrees with ER chains at least $(docv) deep.") in
+  let run dir pack_segments pack_depth =
+    let db, report = Lazy_db.recover dir in
+    print_report dir report;
+    let before = Lazy_db.segment_count db in
+    let cfg =
+      { Maintainer.default_config with
+        pack_min_segments = pack_segments; pack_min_depth = pack_depth }
+    in
+    let m = Maintainer.of_db ~config:cfg db in
+    let jobs = Maintainer.run_until_idle m in
+    (* Truncate the WAL regardless of size: a compacted store should
+       restart from its snapshot, not replay history. *)
+    Lazy_db.checkpoint db;
+    Lazy_db.close db;
+    Printf.printf "compacted %s: %d maintenance job(s), %d -> %d segment(s), wal truncated\n"
+      dir jobs before (Lazy_db.segment_count db)
+  in
+  Cmd.v
+    (Cmd.info "compact"
+       ~doc:"Pay down a WAL directory's maintenance debt: pack fragmented subtrees, merge \
+             tag lists, checkpoint and truncate the log.")
+    Term.(const run $ dir $ pack_segments $ pack_depth)
+
+let backup_cmd =
+  let src = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+                   ~doc:"Live WAL durability directory.") in
+  let dst = Arg.(required & pos 1 (some string) None & info [] ~docv:"DEST"
+                   ~doc:"Backup target directory (created if missing).") in
+  let run src dst =
+    let db, report = Lazy_db.recover src in
+    print_report src report;
+    let lsn = Lazy_db.backup db ~dir:dst in
+    Lazy_db.close db;
+    Printf.printf "backed up %s through lsn %d into %s (restore any committed prefix with \
+                   'lazyxml restore %s --lsn N')\n"
+      src lsn dst dst
+  in
+  Cmd.v
+    (Cmd.info "backup"
+       ~doc:"Ship a WAL directory's snapshot + log to a backup directory, atomically.")
+    Term.(const run $ src $ dst)
+
 (* --- chop ----------------------------------------------------------------- *)
 
 let chop_cmd =
@@ -390,8 +468,15 @@ let () =
     Cmd.info "lazyxml" ~version:"1.0.0"
       ~doc:"Lazy XML updates and segment-aware structural joins (SIGMOD 2005 reproduction)."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [ query_cmd; stats_cmd; insert_cmd; remove_cmd; generate_cmd; chop_cmd; path_cmd;
-            save_cmd; restore_cmd; checkpoint_cmd; recover_cmd ]))
+  (* [Failure] is the commands' user-error channel (bad --lsn bound,
+     malformed batch file, ...): report it as a message, not a crash. *)
+  match
+    Cmd.eval ~catch:false
+      (Cmd.group info
+         [ query_cmd; stats_cmd; insert_cmd; remove_cmd; generate_cmd; chop_cmd; path_cmd;
+           save_cmd; restore_cmd; checkpoint_cmd; recover_cmd; compact_cmd; backup_cmd ])
+  with
+  | code -> exit code
+  | exception Failure msg ->
+    Printf.eprintf "lazyxml: %s\n" msg;
+    exit 1

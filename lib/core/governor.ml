@@ -106,6 +106,12 @@ let create ?config ?engine ?index_attributes ?domains ?durability () =
 let shared t = t.sdb
 let config t = t.cfg
 
+let in_flight t =
+  Mutex.lock t.gate;
+  let r = t.readers and w = t.writers in
+  Mutex.unlock t.gate;
+  (r, w)
+
 let stats t =
   {
     admitted_reads = Atomic.get t.admitted_reads;

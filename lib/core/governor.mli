@@ -98,6 +98,12 @@ val shared : t -> Shared_db.t
 val config : t -> config
 val stats : t -> stats
 
+val in_flight : t -> int * int
+(** [(readers, writers)] currently admitted — the maintenance
+    scheduler's idleness probe: background work proceeds only when the
+    gauges say the system has spare capacity, and is shed by the
+    normal admission bound otherwise. *)
+
 val read :
   t ->
   ?deadline_s:float ->

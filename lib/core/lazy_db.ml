@@ -326,6 +326,13 @@ let batch t f =
   match t.durable with None -> f () | Some s -> Lxu_storage.Wal_store.batch s f
 
 let wal_dir t = Option.map Lxu_storage.Wal_store.dir t.durable
+let wal_bytes t = Option.map Lxu_storage.Wal_store.wal_bytes t.durable
+
+let backup t ~dir =
+  match t.durable with
+  | None ->
+    invalid_arg "Lazy_db.backup: database has no WAL (create with ~durability:(`Wal dir))"
+  | Some s -> Lxu_storage.Wal_store.backup s ~dir
 
 let close t =
   match t.durable with None -> () | Some s -> Lxu_storage.Wal_store.close s
@@ -360,3 +367,10 @@ let recover ?domains dir =
   let t = of_log ?domains lg in
   t.durable <- Some store;
   (t, report)
+
+let restore_to ?domains ~lsn dir =
+  let lg, report = Lxu_storage.Wal_store.restore_to ~dir ~lsn in
+  (* Deliberately no durability handle: the restored state is a point
+     in the middle of [dir]'s history — appending to its WAL would
+     fork it with non-monotonic LSNs.  Persist via [save]/[load]. *)
+  (of_log ?domains lg, report)

@@ -252,6 +252,32 @@ val recover : ?domains:int -> string -> t * Lxu_storage.Recovery.report
 val wal_dir : t -> string option
 (** The durability directory, when the database has one. *)
 
+val wal_bytes : t -> int option
+(** Current size of the live WAL file, when the database has one — the
+    maintenance scheduler's rolling-checkpoint trigger. *)
+
+val backup : t -> dir:string -> int
+(** [backup t ~dir] ships the durable state — snapshot (if any) plus
+    the committed WAL — into directory [dir] via atomic renames (see
+    {!Lxu_storage.Wal_store.backup}) and returns the last committed
+    LSN.  Call with the database quiescent (e.g. inside
+    {!Shared_db.write}).
+    @raise Invalid_argument without durability, inside {!batch}, or
+    when [dir] is the live directory. *)
+
+val restore_to :
+  ?domains:int -> lsn:int -> string -> t * Lxu_storage.Recovery.report
+(** [restore_to ~lsn dir] is point-in-time restore: rebuilds the
+    database exactly as of committed LSN [lsn] from [dir] (a live
+    durability directory or a {!backup}), replaying the WAL prefix and
+    skipping everything past [lsn].  [dir] is never written, and the
+    returned database has {e no} durability handle — it is a read-only
+    reconstruction of a point in the middle of [dir]'s history;
+    persist it with {!save}/{!load} if it should become a new line of
+    history.
+    @raise Failure when [dir] holds nothing recoverable or its
+    snapshot already covers more history than [lsn]. *)
+
 val close : t -> unit
 (** Commits any buffered WAL records and closes the log file.  No-op
     without durability; idempotent. *)

@@ -239,6 +239,14 @@ let close t = write t Lazy_db.close
 let count t ?axis ~anc ~desc () = read t (fun db -> Lazy_db.count db ?axis ~anc ~desc ())
 let path_count t path = read t (fun db -> Path_query.count db path)
 
+let sweep t =
+  match t.mode with
+  | Locked _ -> ()
+  | Mvcc m ->
+    Mutex.lock m.vlock;
+    reclaim_locked m;
+    Mutex.unlock m.vlock
+
 let stats t = (Atomic.get t.reads_done, Atomic.get t.writes_done)
 
 let current_epoch t =

@@ -108,6 +108,13 @@ val end_snapshot : snapshot -> unit
 (** Releases the pin (idempotent).  Dropping the last pin of a
     superseded version reclaims it and sweeps the element cache. *)
 
+val sweep : t -> unit
+(** Reclaims superseded unpinned snapshot versions and pushes the
+    resulting floor to the shared element cache, dropping retired
+    column versions no reader can reach — the maintenance scheduler's
+    cache-GC hook.  Reclamation also happens automatically when pins
+    drop; this just makes it schedulable.  No-op under [STD]. *)
+
 (** {2 Introspection} *)
 
 val stats : t -> int * int

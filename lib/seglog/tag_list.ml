@@ -135,6 +135,7 @@ let sort_all t ~gp_of =
   end
 
 let is_dirty t = t.dirty_count > 0
+let dirty_count t = t.dirty_count
 
 let mark_dirty t =
   (* Conservative full invalidation (benchmark helper / external

@@ -46,6 +46,10 @@ val sort_all : t -> gp_of:(int -> int) -> unit
 val is_dirty : t -> bool
 (** Whether any per-tag list is dirty (O(1)). *)
 
+val dirty_count : t -> int
+(** Number of per-tag lists with a pending run awaiting {!sort_all} —
+    a fragmentation signal for the maintenance scheduler (O(1)). *)
+
 val mark_dirty : t -> unit
 (** Marks every per-tag list dirty, forcing the next {!sort_all} to
     re-sort all of them (benchmark helper for re-measuring the full LS

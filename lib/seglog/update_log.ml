@@ -25,6 +25,10 @@ type t = {
   cache : Seg_cache.t;
   mutable next_sid : int;
   mutable live_segments : int;  (* segments alive, dummy root excluded *)
+  mutable er_depth : int;
+  (* Deepest ER chain (edges below the dummy root): a high-water mark
+     bumped on insert and re-anchored to the exact value by every
+     [fragmented_subtrees] scan (removes never lower it on their own). *)
   branching : int;
   metrics : metrics;
   frozen : bool;  (* immutable snapshot produced by [freeze] *)
@@ -51,6 +55,7 @@ let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) 
     cache = Seg_cache.create ?max_bytes:cache_bytes ();
     next_sid = 1;
     live_segments = 0;
+    er_depth = 0;
     branching;
     metrics =
       {
@@ -78,6 +83,18 @@ let segment_count_walk t =
   let n = ref 0 in
   Er_node.iter_subtree t.root (fun _ -> incr n);
   !n - 1
+
+(* Exact deepest ER chain (edges below the dummy root), re-anchoring
+   the incremental high-water in [t.er_depth]. *)
+let refresh_er_depth t =
+  let deepest = ref 0 in
+  let rec walk d (n : Er_node.t) =
+    if d > !deepest then deepest := d;
+    Vec.iter (fun k -> walk (d + 1) k) n.Er_node.children
+  in
+  walk 0 t.root;
+  t.er_depth <- !deepest;
+  !deepest
 
 let element_count t =
   if t.frozen then t.frozen_elems else Element_index.size t.element_index
@@ -162,6 +179,11 @@ let link_new_segment t ~gp ~text ~elems_for =
   node.parent <- Some parent;
   Vec.insert_at parent.children (child_index_for_gp parent gp) node;
   t.live_segments <- t.live_segments + 1;
+  let rec chain d (n : Er_node.t) =
+    match n.parent with None -> d | Some p -> chain (d + 1) p
+  in
+  let d = chain 0 node in
+  if d > t.er_depth then t.er_depth <- d;
   node
 
 (* Distinct-tag element counts of a segment, for tag-list entries. *)
@@ -759,6 +781,7 @@ let freeze t ~epoch =
     cache = t.cache;
     next_sid = t.next_sid;
     live_segments = t.live_segments;
+    er_depth = t.er_depth;
     branching = t.branching;
     metrics =
       {
@@ -910,6 +933,61 @@ let load ic =
           counts
       end);
   t.sb_dirty <- true;
+  ignore (refresh_er_depth t);
   prepare_for_query t;
   full_check t;
   t
+
+(* --- fragmentation statistics (maintenance scheduler input) ---------- *)
+
+type frag_stats = {
+  live_segments : int;
+  dead_segments : int;
+  er_depth : int;
+  dirty_tags : int;
+  doc_bytes : int;
+}
+
+let frag_stats (t : t) =
+  {
+    live_segments = t.live_segments;
+    dead_segments = t.metrics.segments_removed;
+    er_depth = t.er_depth;
+    dirty_tags = Tag_list.dirty_count t.tag_list;
+    doc_bytes = t.root.Er_node.len;
+  }
+
+type subtree_frag = { sid : int; gp : int; len : int; segments : int; depth : int }
+
+let fragmented_subtrees (t : t) =
+  let subtrees = ref [] in
+  let deepest = ref 0 in
+  Vec.iter
+    (fun (c : Er_node.t) ->
+      let segs = ref 0 and dmax = ref 0 in
+      let rec walk d (n : Er_node.t) =
+        incr segs;
+        if d > !dmax then dmax := d;
+        Vec.iter (fun k -> walk (d + 1) k) n.Er_node.children
+      in
+      walk 1 c;
+      if !dmax > !deepest then deepest := !dmax;
+      subtrees :=
+        {
+          sid = c.Er_node.sid;
+          gp = c.Er_node.gp;
+          len = c.Er_node.len;
+          segments = !segs;
+          depth = !dmax;
+        }
+        :: !subtrees)
+    t.root.Er_node.children;
+  (* The walk just measured every chain, so re-anchor the insert-side
+     high-water (removes and packs never lower it on their own). *)
+  t.er_depth <- !deepest;
+  List.sort
+    (fun a b ->
+      match Int.compare b.segments a.segments with
+      | 0 -> Int.compare b.depth a.depth
+      | c -> c)
+    !subtrees

@@ -184,3 +184,38 @@ val load : in_channel -> t
 (** Restores a log written by {!save}; derived structures (SB-tree,
     element index, tag lists) are rebuilt from the segment data.
     @raise Failure on a malformed or incompatible snapshot. *)
+
+(** {1 Fragmentation statistics}
+
+    The maintenance scheduler's inputs: how much update debt the lazy
+    discipline has accumulated, maintained incrementally so reading
+    them costs O(1). *)
+
+type frag_stats = {
+  live_segments : int;
+  dead_segments : int;  (** cumulative segments removed over the log's life *)
+  er_depth : int;
+      (** deepest ER chain (edges below the dummy root) — an insert-side
+          high-water mark, re-anchored to the exact value by every
+          {!fragmented_subtrees} scan *)
+  dirty_tags : int;  (** per-tag pending runs awaiting a sort/merge *)
+  doc_bytes : int;
+}
+
+val frag_stats : t -> frag_stats
+(** O(1) snapshot of the counters above. *)
+
+type subtree_frag = {
+  sid : int;
+  gp : int;  (** current global position of the subtree's extent *)
+  len : int;  (** current byte length of the extent *)
+  segments : int;  (** live segments in the subtree, its root included *)
+  depth : int;  (** deepest chain in the subtree, measured from the dummy root *)
+}
+
+val fragmented_subtrees : t -> subtree_frag list
+(** The top-level subtrees (children of the dummy root), most
+    fragmented first (by segment count, then chain depth).  Each
+    extent [gp, gp+len) is a well-formed fragment of the current
+    document — a valid pack target.  O(live segments) walk; also
+    re-anchors {!frag_stats}[.er_depth] to its exact current value. *)

@@ -15,18 +15,28 @@ type report = {
 
 let snapshot_magic = "LXUCKPT1"
 
+(* The full atomic-rename protocol: write to a temp file, fsync it,
+   rename over the target, fsync the directory.  Without the file
+   fsync the rename can land before the data; without the directory
+   fsync the rename itself can be lost — either way a crash could
+   leave a snapshot that claims LSN [lsn] but does not hold it, and a
+   later WAL truncation would then destroy the only copy of those
+   records. *)
 let write_snapshot ~path ~lsn log =
   let tmp = path ^ ".tmp" in
   let oc = open_out_bin tmp in
   (try
      Printf.fprintf oc "%s lsn %d\n" snapshot_magic lsn;
      Update_log.save log oc;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
      close_out oc
    with e ->
      close_out_noerr oc;
      (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  Sys.rename tmp path;
+  Sim_file.fsync_dir (Filename.dirname path)
 
 let read_snapshot ~path =
   let ic = open_in_bin path in
@@ -76,7 +86,7 @@ let replay log (op : Wal.op) =
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
     fresh
 
-let recover_bytes ?path ?base wal_bytes =
+let recover_bytes ?path ?base ?(upto_lsn = max_int) wal_bytes =
   let scan = Wal.scan ?path wal_bytes in
   let snapshot_lsn, log0 =
     match base with
@@ -99,6 +109,11 @@ let recover_bytes ?path ?base wal_bytes =
            incr skipped;
            prev_end := r.Wal.end_off
          end
+         else if r.Wal.lsn > upto_lsn then
+           (* Point-in-time restore: the record is valid but beyond the
+              requested LSN.  Not corruption — just history the caller
+              does not want. *)
+           incr skipped
          else begin
            match replay !log r.Wal.op with
            | l ->

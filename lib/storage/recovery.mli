@@ -23,9 +23,12 @@ type report = {
 
 val write_snapshot : path:string -> lsn:int -> Lxu_seglog.Update_log.t -> unit
 (** Writes ["LXUCKPT1 lsn <n>"] followed by the
-    {!Lxu_seglog.Update_log.save} payload, via a temp file renamed
-    into place so a crash mid-write never damages the previous
-    snapshot. *)
+    {!Lxu_seglog.Update_log.save} payload, via the full atomic-rename
+    protocol: temp file, file fsync, rename into place, directory
+    fsync.  A crash at any point leaves either the previous snapshot
+    or the new one, durably — never a torn file, and never a rename
+    that a power cut can roll back after the WAL was truncated on its
+    strength. *)
 
 val read_snapshot : path:string -> int * Lxu_seglog.Update_log.t
 (** @raise Failure on a malformed snapshot; the message includes
@@ -43,6 +46,7 @@ val replay : Lxu_seglog.Update_log.t -> Wal.op -> Lxu_seglog.Update_log.t
 val recover_bytes :
   ?path:string ->
   ?base:int * Lxu_seglog.Update_log.t ->
+  ?upto_lsn:int ->
   string ->
   Lxu_seglog.Update_log.t * report
 (** [recover_bytes wal_bytes] scans and replays captured WAL bytes in
@@ -50,5 +54,12 @@ val recover_bytes :
     from; without it replay starts from an empty log configured by
     the WAL header.  The [base] log is mutated in place (pass a
     private copy).
+
+    [upto_lsn] (default: everything) is the point-in-time restore
+    bound: valid records with a higher LSN are skipped, not treated as
+    corruption, so the result is the committed state exactly as of
+    [upto_lsn].  [report.last_lsn] still reflects the last record
+    {e applied}, and [valid_bytes] the full valid prefix — a
+    restore-bounded replay never truncates history.
     @raise Failure only on an unreadable WAL header (see
     {!Wal.scan}). *)

@@ -11,16 +11,26 @@ type t = {
   backing : backing;
   faults : (int, fault) Hashtbl.t;
   mutable nwrites : int;
+  write_back : bool;
+  (* Writes buffered in the "page cache" (write-back mode only):
+     oldest first.  They reach [backing] only on {!sync} — or the
+     persisted prefix of a {!crash}. *)
+  mutable pending : string list;  (* newest first *)
 }
 
-let in_memory () = { backing = Memory (Buffer.create 256); faults = Hashtbl.create 4; nwrites = 0 }
+let in_memory ?(write_back = false) () =
+  { backing = Memory (Buffer.create 256); faults = Hashtbl.create 4; nwrites = 0;
+    write_back; pending = [] }
 
-let open_path ?(append = false) path =
+let open_path ?(append = false) ?(write_back = false) path =
   let flags =
     [ Open_wronly; Open_creat; Open_binary ] @ if append then [ Open_append ] else [ Open_trunc ]
   in
   let oc = open_out_gen flags 0o644 path in
-  { backing = File { path; oc; closed = false }; faults = Hashtbl.create 4; nwrites = 0 }
+  { backing = File { path; oc; closed = false }; faults = Hashtbl.create 4; nwrites = 0;
+    write_back; pending = [] }
+
+let is_write_back t = t.write_back
 
 let inject t ~nth_write fault = Hashtbl.replace t.faults nth_write fault
 
@@ -48,6 +58,13 @@ let random_fault rng ~len =
   | 1 -> Bit_flip (Lxu_workload.Rng.int rng (len * 8))
   | _ -> Duplicate_tail (1 + Lxu_workload.Rng.int rng len)
 
+let persist t data =
+  match t.backing with
+  | Memory buf -> Buffer.add_string buf data
+  | File f ->
+    if f.closed then invalid_arg "Sim_file.write: device is closed";
+    output_string f.oc data
+
 let write t data =
   let data =
     match Hashtbl.find_opt t.faults t.nwrites with
@@ -55,29 +72,55 @@ let write t data =
     | None -> data
   in
   t.nwrites <- t.nwrites + 1;
-  match t.backing with
-  | Memory buf -> Buffer.add_string buf data
-  | File f ->
-    if f.closed then invalid_arg "Sim_file.write: device is closed";
-    output_string f.oc data
+  if t.write_back then begin
+    (match t.backing with
+    | File f when f.closed -> invalid_arg "Sim_file.write: device is closed"
+    | _ -> ());
+    t.pending <- data :: t.pending
+  end
+  else persist t data
 
 let writes t = t.nwrites
+let pending_writes t = List.length t.pending
+
+(* Moves buffered writes into the backing (oldest first).  Does not
+   fsync — the caller decides whether this is a [sync] or the lucky
+   prefix of a [crash]. *)
+let drain t =
+  List.iter (persist t) (List.rev t.pending);
+  t.pending <- []
 
 let flush t = match t.backing with Memory _ -> () | File f -> if not f.closed then flush f.oc
 
 let sync t =
+  drain t;
   flush t;
   match t.backing with
   | Memory _ -> ()
   | File f -> if not f.closed then Unix.fsync (Unix.descr_of_out_channel f.oc)
 
+let crash ?(keep = 0) t =
+  let n = List.length t.pending in
+  let kept = max 0 (min keep n) in
+  (* [pending] is newest first: the oldest [kept] writes survive. *)
+  let survivors = ref [] and dropped = ref 0 in
+  List.iteri
+    (fun i w -> if n - i <= kept then survivors := w :: !survivors else incr dropped)
+    t.pending;
+  List.iter (persist t) !survivors;
+  t.pending <- [];
+  flush t
+
 let size t =
   flush t;
-  match t.backing with
-  | Memory buf -> Buffer.length buf
-  | File f -> (Unix.stat f.path).Unix.st_size
+  let backed =
+    match t.backing with
+    | Memory buf -> Buffer.length buf
+    | File f -> (Unix.stat f.path).Unix.st_size
+  in
+  backed + List.fold_left (fun acc w -> acc + String.length w) 0 t.pending
 
-let contents t =
+let durable_contents t =
   flush t;
   match t.backing with
   | Memory buf -> Buffer.contents buf
@@ -87,7 +130,10 @@ let contents t =
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
 
+let contents t = durable_contents t ^ String.concat "" (List.rev t.pending)
+
 let truncate_to t n =
+  drain t;
   flush t;
   match t.backing with
   | Memory buf ->
@@ -108,3 +154,15 @@ let close t =
       close_out f.oc;
       f.closed <- true
     end
+
+(* fsync on a directory makes renames/creates/unlinks inside it
+   durable (POSIX leaves metadata ordering otherwise unspecified).
+   Some filesystems reject fsync on directory fds; durability simply
+   is not available there, so those errors are swallowed. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())

@@ -8,6 +8,17 @@
     Backed either by a real file or by an in-memory buffer (the crash
     harness runs thousands of recoveries; memory keeps that cheap).
 
+    {b Write-back mode} ([~write_back:true]) models the OS page cache:
+    writes are buffered in memory and reach the backing only on
+    {!sync} — {!flush} does {e not} persist them, exactly as [fwrite]
+    + [fflush] without [fsync] leaves data in the kernel's hands.  A
+    {!crash} drops the unsynced suffix (optionally keeping a lucky
+    prefix the kernel happened to write out), so delayed-write
+    reordering bugs — e.g. truncating a log before its replacement
+    snapshot is durable — become reachable by the harnesses:
+    {!durable_contents} is exactly what a post-crash recovery would
+    read.
+
     Faults are deterministic: the harness derives them from
     {!Lxu_workload.Rng}, so every failing schedule replays exactly. *)
 
@@ -18,13 +29,17 @@ type fault =
   | Bit_flip of int  (** flip bit [i] of the write, 0 = MSB-side of byte 0 *)
   | Duplicate_tail of int  (** re-append the last [n] bytes of the write *)
 
-val in_memory : unit -> t
-(** A buffer-backed device; {!sync} is a no-op. *)
+val in_memory : ?write_back:bool -> unit -> t
+(** A buffer-backed device; {!sync} is a no-op unless [write_back]
+    (default false), where it drains the buffered writes. *)
 
-val open_path : ?append:bool -> string -> t
+val open_path : ?append:bool -> ?write_back:bool -> string -> t
 (** A file-backed device, created/truncated unless [append] (default
     false), which keeps existing contents and writes at the end.
+    [write_back] (default false) buffers writes until {!sync}.
     @raise Sys_error if the file cannot be opened. *)
+
+val is_write_back : t -> bool
 
 val inject : t -> nth_write:int -> fault -> unit
 (** Schedules [fault] for write number [nth_write] (0-based, counting
@@ -44,25 +59,62 @@ val random_fault : Lxu_workload.Rng.t -> len:int -> fault
 
 val write : t -> string -> unit
 (** Appends [data], after applying any fault scheduled for this write
-    index. *)
+    index.  In write-back mode the data lands in the volatile buffer,
+    not the backing. *)
 
 val writes : t -> int
 (** Writes issued so far. *)
 
+val pending_writes : t -> int
+(** Buffered writes not yet drained to the backing (0 outside
+    write-back mode, and right after {!sync}). *)
+
 val flush : t -> unit
+(** Flushes the backing channel only.  Deliberately does {e not}
+    drain write-back buffers: flushing user-space buffers gives no
+    durability, and modelling that distinction is the point of
+    write-back mode. *)
 
 val sync : t -> unit
-(** [flush] plus [fsync] for file-backed devices; no-op in memory. *)
+(** Drains buffered writes (write-back mode), then [flush] plus
+    [fsync] for file-backed devices; no-op for an in-memory device
+    outside write-back mode. *)
+
+val crash : ?keep:int -> t -> unit
+(** Simulated power loss for write-back devices: the oldest [keep]
+    (default 0) buffered writes are persisted — the prefix the kernel
+    happened to write out before dying — and the rest are dropped.
+    The device stays usable (tests reuse it as the "rebooted"
+    machine).  No-op outside write-back mode: everything already
+    reached the backing. *)
 
 val size : t -> int
-(** Bytes currently stored (faults included). *)
+(** Bytes the {e process} observes (backing plus buffered writes,
+    faults included). *)
 
 val contents : t -> string
-(** The full stored bytes (flushes first). *)
+(** The full stored bytes as the process observes them — buffered
+    writes included, the way a read-after-write through the page
+    cache would see them. *)
+
+val durable_contents : t -> string
+(** Only the bytes that survived to the backing — what recovery would
+    find after a crash right now.  Equal to {!contents} outside
+    write-back mode or right after {!sync}. *)
 
 val truncate_to : t -> int -> unit
 (** Discards everything past byte [n] — how recovery repairs a torn
-    tail in place. *)
+    tail in place.  Drains buffered writes first (recovery owns the
+    device; there is no concurrent crash to model mid-repair). *)
 
 val close : t -> unit
-(** Flushes and closes; idempotent. *)
+(** Flushes the backing channel and closes; idempotent.  Buffered
+    write-back data is {e dropped}, not persisted — closing a file
+    never implied durability; call {!sync} first for a clean
+    shutdown. *)
+
+val fsync_dir : string -> unit
+(** fsync on the directory itself, making renames/creates/unlinks
+    inside it durable — the missing half of every atomic-rename
+    protocol.  Errors from filesystems that reject directory fsync
+    are swallowed (no durability is available there to enforce). *)

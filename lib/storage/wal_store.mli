@@ -17,6 +17,10 @@ val snapshot_path : string -> string
 val dir : t -> string
 val next_lsn : t -> int
 
+val wal_bytes : t -> int
+(** Current size of the live WAL file — the maintenance scheduler's
+    rolling-checkpoint trigger. *)
+
 val fresh :
   dir:string -> mode:Lxu_seglog.Update_log.mode -> index_attributes:bool -> t
 (** Creates [dir] if needed, removes any previous snapshot, and
@@ -43,9 +47,33 @@ val batch : t -> (unit -> 'a) -> 'a
     happen).  Not reentrant. *)
 
 val checkpoint : t -> Lxu_seglog.Update_log.t -> unit
-(** Writes a snapshot at the current LSN (temp file + rename), then
-    rotates the WAL to empty.  A crash between the two steps is safe:
-    recovery skips replayed records at or below the snapshot LSN. *)
+(** Writes a snapshot at the current LSN (temp file + fsync + rename +
+    directory fsync), then rotates the WAL to empty (same protocol).
+    A crash between the two steps is safe: recovery skips replayed
+    records at or below the snapshot LSN — and because the snapshot is
+    durable {e before} the rotation's directory fsync, a resurrected
+    pre-rotation log can never be the only copy of anything. *)
+
+val backup : t -> dir:string -> int
+(** [backup t ~dir] commits and fsyncs the live WAL, then copies the
+    snapshot (if any) and the WAL into [dir] — each through the
+    atomic-rename protocol, snapshot first, so a crash mid-backup
+    leaves [dir] restorable to {e some} committed point, never torn.
+    Returns the last committed LSN (what {!restore_to} on the backup
+    can reach).  Call with the store quiescent (e.g. under the
+    writer lock).
+    @raise Invalid_argument if [dir] is the live directory or the
+    store is inside {!batch}. *)
+
+val restore_to : dir:string -> lsn:int -> Lxu_seglog.Update_log.t * Recovery.report
+(** Point-in-time restore: rebuilds the state as of committed LSN
+    [lsn] from [dir]'s snapshot + WAL prefix, in memory — [dir] (a
+    live directory or a {!backup}) is never written, so later history
+    stays intact and the result must not be re-attached for appending.
+    Records past [lsn] are skipped, not treated as corruption.
+    @raise Failure when [dir] holds nothing recoverable, or its
+    snapshot already covers more history than [lsn] (restore needs a
+    backup from before that checkpoint). *)
 
 val recover : dir:string -> Lxu_seglog.Update_log.t * t * Recovery.report
 (** Restores [snapshot + WAL suffix].  A corrupt tail is truncated

@@ -1,26 +1,35 @@
 #!/bin/sh
-# Perf regression gate for the structural-join, update-ingestion and
-# concurrent-read paths.
+# Perf regression gate for the structural-join, update-ingestion,
+# concurrent-read and autonomous-maintenance paths.
 #
 #   scripts/bench_gate.sh           run the parallel-join, batched-
-#                                   update and MVCC mixed read/write
-#                                   benchmarks and fail if single-
-#                                   domain join throughput or LD
-#                                   batch-64 update throughput drops
-#                                   more than 10% below its committed
-#                                   baseline (BENCH_join.json /
-#                                   BENCH_update.json), or if p99 read
+#                                   update, MVCC mixed read/write and
+#                                   maintenance-churn benchmarks and
+#                                   fail if single-domain join
+#                                   throughput or LD batch-64 update
+#                                   throughput drops more than 10%
+#                                   below its committed baseline
+#                                   (BENCH_join.json /
+#                                   BENCH_update.json), if p99 read
 #                                   latency under a streaming writer
 #                                   leaves the acceptance envelope:
 #                                   mixed p99 must stay within 1.25x
 #                                   the same run's read-only p99, or
 #                                   at worst within 10% of the
-#                                   committed ratio (BENCH_mvcc.json)
+#                                   committed ratio (BENCH_mvcc.json),
+#                                   or if the churn week leaves the
+#                                   maintenance envelope: auto-
+#                                   maintained p99 within 1.15x a
+#                                   freshly rebuilt store (same 10%
+#                                   grace) while manual-only stays
+#                                   measurably degraded above 4x
+#                                   (BENCH_maint.json)
 #   scripts/bench_gate.sh --smoke   no benchmark run: just check that
 #                                   the committed baselines parse,
 #                                   carry positive throughputs, and
-#                                   that the committed MVCC ratio is
-#                                   inside its acceptance bound (wired
+#                                   that the committed MVCC and
+#                                   maintenance ratios are inside
+#                                   their acceptance bounds (wired
 #                                   into `dune runtest` so a malformed
 #                                   or stale baseline fails fast)
 #
@@ -28,14 +37,17 @@
 #   dune exec bench/main.exe -- parallel
 #   dune exec bench/main.exe -- update
 #   dune exec bench/main.exe -- mvcc
+#   dune exec bench/main.exe -- maint
 # which rewrite BENCH_join.json / BENCH_update.json / BENCH_mvcc.json
-# in place; commit them alongside any intentional perf change.
+# / BENCH_maint.json in place; commit them alongside any intentional
+# perf change.
 set -eu
 
 root=$(dirname "$0")/..
 join_baseline="$root/BENCH_join.json"
 update_baseline="$root/BENCH_update.json"
 mvcc_baseline="$root/BENCH_mvcc.json"
+maint_baseline="$root/BENCH_maint.json"
 
 # Pulls the domains=1 pairs_per_sec out of a BENCH_join.json.  The
 # bench writer emits compact single-line JSON with a fixed key order
@@ -68,6 +80,24 @@ extract_mvcc() {
     | cut -d: -f2
 }
 
+# Pulls auto_ratio / manual_ratio (steady-state sweep p99 over the
+# freshly rebuilt store's p99, auto-maintained and manual-only churn
+# stores) out of a BENCH_maint.json.  Ratios against the same-run
+# fresh baseline, so host weather cancels.
+extract_maint_auto() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"auto_ratio":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+extract_maint_manual() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"manual_ratio":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
 [ -f "$join_baseline" ] || { echo "bench_gate: missing $join_baseline" >&2; exit 1; }
 [ -f "$update_baseline" ] || { echo "bench_gate: missing $update_baseline" >&2; exit 1; }
 join_base=$(extract_join "$join_baseline")
@@ -87,9 +117,26 @@ if ! awk -v r="$mvcc_base" 'BEGIN { exit !(r + 0 <= 1.25) }'; then
   echo "bench_gate: committed MVCC p99 ratio ${mvcc_base} exceeds the 1.25x acceptance bound" >&2
   exit 1
 fi
+[ -f "$maint_baseline" ] || { echo "bench_gate: missing $maint_baseline" >&2; exit 1; }
+maint_auto_base=$(extract_maint_auto "$maint_baseline")
+case "$maint_auto_base" in
+  ''|0) echo "bench_gate: no auto_ratio in $maint_baseline" >&2; exit 1 ;;
+esac
+maint_manual_base=$(extract_maint_manual "$maint_baseline")
+case "$maint_manual_base" in
+  ''|0) echo "bench_gate: no manual_ratio in $maint_baseline" >&2; exit 1 ;;
+esac
+if ! awk -v r="$maint_auto_base" 'BEGIN { exit !(r + 0 <= 1.15) }'; then
+  echo "bench_gate: committed maint auto_ratio ${maint_auto_base} exceeds the 1.15x acceptance bound" >&2
+  exit 1
+fi
+if ! awk -v r="$maint_manual_base" 'BEGIN { exit !(r + 0 >= 4.0) }'; then
+  echo "bench_gate: committed maint manual_ratio ${maint_manual_base} is below 4x — the un-maintained store no longer degrades, so the comparison is vacuous" >&2
+  exit 1
+fi
 
 if [ "${1:-}" = "--smoke" ]; then
-  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s, mvcc p99 ratio ${mvcc_base})"
+  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s, mvcc p99 ratio ${mvcc_base}, maint ratios ${maint_auto_base}/${maint_manual_base})"
   exit 0
 fi
 
@@ -98,7 +145,8 @@ fail=0
 tmp=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp2=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp3=$(mktemp /tmp/bench_gate.XXXXXX.json)
-trap 'rm -f "$tmp" "$tmp2" "$tmp3"' EXIT
+tmp4=$(mktemp /tmp/bench_gate.XXXXXX.json)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4"' EXIT
 
 (cd "$root" && dune exec bench/main.exe -- parallel --json "$tmp" >/dev/null)
 join_new=$(extract_join "$tmp")
@@ -138,6 +186,34 @@ if awk -v n="$mvcc_new" -v b="$mvcc_base" 'BEGIN { exit !(n + 0 <= 1.25 || n + 0
   echo "bench_gate: mvcc OK (p99 ratio ${mvcc_new} vs baseline ${mvcc_base}, bound 1.25x)"
 else
   echo "bench_gate: mvcc FAIL (p99 ratio ${mvcc_new} exceeds the 1.25x bound and baseline ${mvcc_base} + 10%)" >&2
+  fail=1
+fi
+
+# Autonomous maintenance under churn: the auto-maintained store's
+# steady-state sweep p99 must sit within the 1.15x-of-fresh acceptance
+# bound (or within 10% grace of the committed ratio, as above), and
+# the manual-only store must remain measurably degraded — if it stops
+# degrading, the churn schedule no longer creates debt and the auto
+# result proves nothing.
+(cd "$root" && dune exec bench/main.exe -- maint --json "$tmp4" >/dev/null)
+maint_auto_new=$(extract_maint_auto "$tmp4")
+case "$maint_auto_new" in
+  ''|0) echo "bench_gate: benchmark produced no auto_ratio" >&2; exit 1 ;;
+esac
+maint_manual_new=$(extract_maint_manual "$tmp4")
+case "$maint_manual_new" in
+  ''|0) echo "bench_gate: benchmark produced no manual_ratio" >&2; exit 1 ;;
+esac
+if awk -v n="$maint_auto_new" -v b="$maint_auto_base" 'BEGIN { exit !(n + 0 <= 1.15 || n + 0 <= b / 0.9) }'; then
+  echo "bench_gate: maint OK (auto p99 ratio ${maint_auto_new} vs baseline ${maint_auto_base}, bound 1.15x)"
+else
+  echo "bench_gate: maint FAIL (auto p99 ratio ${maint_auto_new} exceeds the 1.15x bound and baseline ${maint_auto_base} + 10%)" >&2
+  fail=1
+fi
+if awk -v n="$maint_manual_new" 'BEGIN { exit !(n + 0 >= 4.0) }'; then
+  echo "bench_gate: maint debt evidence OK (manual-only p99 ratio ${maint_manual_new}, floor 4x)"
+else
+  echo "bench_gate: maint FAIL (manual-only p99 ratio ${maint_manual_new} below the 4x degradation floor — comparison is vacuous)" >&2
   fail=1
 fi
 

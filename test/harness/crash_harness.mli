@@ -44,6 +44,27 @@ val fingerprint : Lazy_xml.Lazy_db.t -> string
 (** Text, element/segment counts, and all-pairs join output over the
     vocabulary (both axes) — equality means query-indistinguishable. *)
 
+(** {2 Shared plumbing}
+
+    The filesystem and differential helpers the other crash-style
+    harnesses (notably [Maint_harness]) build their own schedules
+    on. *)
+
+val fresh_dir : string -> string
+(** A unique per-process temp-directory path (not created). *)
+
+val rm_rf : string -> unit
+(** Removes a flat directory and its files; no-op if absent. *)
+
+val read_file : string -> string
+
+val write_file : string -> string -> unit
+
+val check : ctx:string -> string -> Lazy_xml.Lazy_db.t -> unit
+(** [check ~ctx expected db] compares {!fingerprint}[ db] against
+    [expected].
+    @raise Failure with [ctx] and both fingerprints on divergence. *)
+
 val run_one : ?checkpoint_at:int -> seed:int -> target_ops:int -> unit -> int
 (** One workload: boundary sweep plus fault injection; with
     [checkpoint_at = k] the database checkpoints after operation [k]

@@ -26,4 +26,5 @@ let () =
       ("governor", Test_governor.suite);
       ("update_batch", Test_update_batch.suite);
       ("mvcc", Test_mvcc.suite);
+      ("maint", Test_maint.suite);
     ]

@@ -12,7 +12,12 @@
      seeds, every pinned read proved byte-identical to a
      single-threaded replay frozen at its epoch, with zero leaked
      versions at quiescence;
-   - the full parser mutation-fuzz corpus.
+   - the full parser mutation-fuzz corpus;
+   - the full maintenance chaos matrix: churn workloads interleaved
+     with background maintenance, crashed at every maintenance-step
+     and checkpoint-truncation boundary (plus torn/bit-flipped tails
+     and backup restores), and a point-in-time restore sweep proving
+     every committed prefix state reconstructible.
 
    Quick versions of all four run under the default test alias; this
    tier is:
@@ -20,8 +25,8 @@
      dune build @slow
 
    LXU_CRASH_SEEDS / LXU_CRASH_OPS / LXU_OVERLOAD_SEEDS /
-   LXU_MVCC_SEEDS / LXU_MVCC_OPS / LXU_FUZZ_SEEDS override the
-   matrix sizes. *)
+   LXU_MVCC_SEEDS / LXU_MVCC_OPS / LXU_FUZZ_SEEDS / LXU_MAINT_SEEDS /
+   LXU_MAINT_OPS override the matrix sizes. *)
 
 let int_env name default =
   match Sys.getenv_opt name with
@@ -53,4 +58,13 @@ let () =
   Lxu_crash_harness.Parser_fuzz.run_corpus
     ~seeds:(List.init fuzz_seeds (fun i -> (i * 7919) + 1))
     ~rounds:250;
-  Printf.printf "parser fuzz: %d seeds x 250 mutants, parser stayed total\n%!" fuzz_seeds
+  Printf.printf "parser fuzz: %d seeds x 250 mutants, parser stayed total\n%!" fuzz_seeds;
+  let maint_seeds = int_env "LXU_MAINT_SEEDS" 12 in
+  let maint_ops = int_env "LXU_MAINT_OPS" 36 in
+  Printf.printf
+    "maint matrix: %d churn workloads x ~%d ops, crash at every maintenance boundary + pitr sweep\n%!"
+    maint_seeds maint_ops;
+  Lxu_crash_harness.Maint_harness.run_matrix
+    ~seeds:(List.init maint_seeds (fun i -> i + 1))
+    ~target_ops:maint_ops;
+  Printf.printf "maint matrix: all recoveries fingerprint-identical, every prefix restorable\n%!"
