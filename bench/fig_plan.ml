@@ -1,0 +1,162 @@
+(* Cost-based twig planning benchmark: reversed-selectivity path
+   queries where left-to-right evaluation is the worst order.  The
+   document is thousands of common <g><a><b/>x4</a></g> groups plus a
+   few dozen rare <g><q><a><b><c/></b></a></q></g> groups, chopped
+   into ~80 segments, so the rare tags (q, c) are segment-localized:
+
+   - rare-leaf chains (//a//b//c, //a//c, //a/b//c) make naive
+     evaluation materialize every common a and the full a//b join
+     before the tiny tail prunes it;
+   - a rare-root chain (//q//a//b) still pays the full a//b join in
+     the middle under the naive order;
+   - deep chains (//g//q//a//c) start from the most common tag;
+   - //a//b//q is provably empty — the synopsis shows no q below b —
+     so the planner answers without running a join;
+   - //a//b is the control: plan and naive coincide, bounding planner
+     overhead (the never-slower check).
+
+   For each query the run times naive (plan=`Naive), planned
+   (plan=`Auto) and the best hand-picked seed (min over `Seed k), and
+   verifies all orders return identical extents.  Headline metrics:
+   [frac_ge3] — fraction of queries where planned is >= 3x naive —
+   and [worst_ratio] — max planned/naive time over all queries
+   (planner overhead bound).  Results land in BENCH_plan.json (or the
+   --json path), gated by scripts/bench_gate.sh; see EXPERIMENTS.md
+   for the schema. *)
+
+open Lazy_xml
+module B = Bench_util
+
+let common_groups = 2500 * B.scale
+let rare_groups = 40
+let segments = 80
+let repeat = 7
+
+let build_db () =
+  let buf = Buffer.create (common_groups * 32) in
+  Buffer.add_string buf "<root>";
+  (* Spread the rare groups through the document so they land in
+     different segments. *)
+  let every = max 1 (common_groups / rare_groups) in
+  for i = 1 to common_groups do
+    Buffer.add_string buf "<g><a><b/><b/><b/><b/></a></g>";
+    if i mod every = 0 then
+      Buffer.add_string buf "<g><q><a><b><c/></b></a></q></g>"
+  done;
+  Buffer.add_string buf "</root>";
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter
+    (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+    (Lxu_workload.Chopper.chop ~text:(Buffer.contents buf) ~segments
+       Lxu_workload.Chopper.Balanced);
+  db
+
+let queries =
+  [
+    ("rare_leaf_3", "//a//b//c");
+    ("rare_leaf_2", "//a//c");
+    ("child_mix", "//a/b//c");
+    ("rare_root", "//q//a//b");
+    ("deep_chain", "//g//q//a//c");
+    ("provably_empty", "//a//b//q");
+    ("common_control", "//a//b");
+  ]
+
+type row = {
+  label : string;
+  expr : string;
+  matches : int;
+  naive_ms : float;
+  planned_ms : float;
+  best_ms : float;
+  fingerprints_ok : bool;
+}
+
+let bench_query db (label, expr) =
+  let twig = Path_query.parse_exn expr in
+  let n = List.length twig in
+  let reference = Path_query.eval ~plan:`Naive db twig in
+  let ok = ref (Path_query.eval ~plan:`Auto db twig = reference) in
+  List.iter
+    (fun k -> if Path_query.eval ~plan:(`Seed k) db twig <> reference then ok := false)
+    (List.init n Fun.id);
+  (* The headline is a ratio of short passes, so the variants are
+     timed interleaved — one sample of each per round, best-of kept
+     per variant — putting host weather on all of them in proportion
+     instead of deciding a single variant's minimum. *)
+  let variants = `Naive :: `Auto :: List.init n (fun k -> `Seed k) in
+  let mins = Array.make (List.length variants) infinity in
+  for _ = 1 to repeat do
+    List.iteri
+      (fun i plan ->
+        let _, ms = B.time_ms (fun () -> ignore (Path_query.eval ~plan db twig)) in
+        mins.(i) <- min mins.(i) ms)
+      variants
+  done;
+  let naive_ms = mins.(0) and planned_ms = mins.(1) in
+  let best_ms = Array.fold_left min infinity (Array.sub mins 2 n) in
+  {
+    label;
+    expr;
+    matches = List.length reference;
+    naive_ms;
+    planned_ms;
+    best_ms;
+    fingerprints_ok = !ok;
+  }
+
+let run () =
+  B.header "plan: cost-based twig planning vs naive order";
+  let db = build_db () in
+  Printf.printf "document: %d bytes, %d elements, %d segments\n%!"
+    (Lazy_db.doc_length db) (Lazy_db.element_count db) (Lazy_db.segment_count db);
+  let rows = List.map (bench_query db) queries in
+  Printf.printf "%-16s %-14s %9s %10s %10s %9s %8s\n" "query" "expr" "matches"
+    "naive ms" "planned ms" "best ms" "speedup";
+  List.iter
+    (fun r ->
+      Printf.printf "%-16s %-14s %9d %10.3f %10.3f %9.3f %7.1fx%s\n" r.label r.expr
+        r.matches r.naive_ms r.planned_ms r.best_ms (r.naive_ms /. r.planned_ms)
+        (if r.fingerprints_ok then "" else "  MISMATCH"))
+    rows;
+  let frac_ge3 =
+    float_of_int (List.length (List.filter (fun r -> r.naive_ms >= 3.0 *. r.planned_ms) rows))
+    /. float_of_int (List.length rows)
+  in
+  let worst_ratio =
+    List.fold_left (fun acc r -> max acc (r.planned_ms /. r.naive_ms)) 0.0 rows
+  in
+  let fingerprints_ok = List.for_all (fun r -> r.fingerprints_ok) rows in
+  Printf.printf
+    "frac >=3x: %.3f   worst planned/naive ratio: %.3f   fingerprints %s\n" frac_ge3
+    worst_ratio
+    (if fingerprints_ok then "identical" else "DIVERGED");
+  let json =
+    B.J_obj
+      [
+        ("bench", B.J_str "plan");
+        ("scale", B.J_int B.scale);
+        ("common_groups", B.J_int common_groups);
+        ("rare_groups", B.J_int rare_groups);
+        ("segments", B.J_int segments);
+        ( "queries",
+          B.J_list
+            (List.map
+               (fun r ->
+                 B.J_obj
+                   [
+                     ("label", B.J_str r.label);
+                     ("query", B.J_str r.expr);
+                     ("matches", B.J_int r.matches);
+                     ("naive_ms", B.J_float r.naive_ms);
+                     ("planned_ms", B.J_float r.planned_ms);
+                     ("best_ms", B.J_float r.best_ms);
+                     ("speedup", B.J_float (r.naive_ms /. r.planned_ms));
+                   ])
+               rows) );
+        ("frac_ge3", B.J_float frac_ge3);
+        ("worst_ratio", B.J_float worst_ratio);
+        ("fingerprints_ok", B.J_bool fingerprints_ok);
+      ]
+  in
+  B.write_json (B.json_out ~default:"BENCH_plan.json") json

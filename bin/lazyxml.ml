@@ -279,6 +279,36 @@ let path_cmd =
   Cmd.v (Cmd.info "path" ~doc:"Evaluate a path expression over a document.")
     Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ expr $ attrs $ holistic $ deadline_arg)
 
+(* --- explain --------------------------------------------------------------- *)
+
+let explain_cmd =
+  let expr = Arg.(required & pos 1 (some string) None & info [] ~docv:"PATH"
+                    ~doc:"Path expression, e.g. //person/profile//interest.") in
+  let attrs = Arg.(value & flag & info [ "attributes" ] ~doc:"Index attributes as @name subelements.") in
+  let run doc engine segments shape expr attrs deadline_ms =
+    let text = read_file doc in
+    let db = Lazy_db.create ~engine:(engine_of_string engine) ~index_attributes:attrs () in
+    if segments <= 1 then Lazy_db.insert db ~gp:0 text
+    else
+      List.iter
+        (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+        (Lxu_workload.Chopper.chop ~text ~segments (shape_of_string shape));
+    let steps = Path_query.parse_exn expr in
+    let t0 = Unix.gettimeofday () in
+    let plan, matches =
+      with_deadline deadline_ms (fun guard -> Path_query.explain ?guard db steps)
+    in
+    let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+    print_string plan;
+    if plan <> "" && plan.[String.length plan - 1] <> '\n' then print_newline ();
+    Printf.printf "%s: %d matches in %.2f ms\n" expr (List.length matches) ms
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show the cost-based plan chosen for a path expression — join order, engine \
+             per join, estimated vs actual cardinalities — then run it.")
+    Term.(const run $ doc_arg $ engine_arg $ segments_arg $ shape_arg $ expr $ attrs $ deadline_arg)
+
 (* --- snapshots -------------------------------------------------------------- *)
 
 let save_cmd =
@@ -474,7 +504,8 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ query_cmd; stats_cmd; insert_cmd; remove_cmd; generate_cmd; chop_cmd; path_cmd;
-           save_cmd; restore_cmd; checkpoint_cmd; recover_cmd; compact_cmd; backup_cmd ])
+           explain_cmd; save_cmd; restore_cmd; checkpoint_cmd; recover_cmd; compact_cmd;
+           backup_cmd ])
   with
   | code -> exit code
   | exception Failure msg ->

@@ -93,6 +93,8 @@ let pool_of t =
       t.pool <- Some p;
       Some p
 
+let query_pool = pool_of
+
 (* The WAL records an operation only after the in-memory apply
    validates it (bounds, well-formedness): the log must replay
    cleanly, so it never holds a record for an update that was

@@ -84,6 +84,12 @@ val engine : t -> engine
 val domains : t -> int
 (** The configured query parallelism (1 = sequential). *)
 
+val query_pool : t -> Lxu_util.Domain_pool.t option
+(** The shared domain pool {!query} draws on, created lazily on first
+    use: [None] iff [domains <= 1].  Exposed so planned path
+    evaluation can run its joins with the same parallelism as direct
+    queries. *)
+
 (** {2 MVCC snapshots}
 
     Every successful update ({!insert}, {!insert_many}, {!remove},

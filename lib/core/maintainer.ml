@@ -3,6 +3,7 @@ open Lxu_seglog
 type config = {
   pack_min_segments : int;
   pack_min_depth : int;
+  pack_tag_skew : int;
   max_pack_bytes : int;
   checkpoint_wal_bytes : int;
   merge_dirty_tags : int;
@@ -14,6 +15,7 @@ let default_config =
   {
     pack_min_segments = 8;
     pack_min_depth = 4;
+    pack_tag_skew = 0;
     max_pack_bytes = 1 lsl 20;
     checkpoint_wal_bytes = 1 lsl 20;
     merge_dirty_tags = 16;
@@ -80,6 +82,7 @@ type t = {
 let check_config cfg =
   if cfg.pack_min_segments < 1 then invalid_arg "Maintainer: pack_min_segments < 1";
   if cfg.pack_min_depth < 1 then invalid_arg "Maintainer: pack_min_depth < 1";
+  if cfg.pack_tag_skew < 0 then invalid_arg "Maintainer: pack_tag_skew < 0";
   if cfg.max_pack_bytes < 1 then invalid_arg "Maintainer: max_pack_bytes < 1";
   if cfg.backup_every < 0 then invalid_arg "Maintainer: backup_every < 0"
 
@@ -149,18 +152,26 @@ let step t db =
     | None -> None
     | Some log -> (
       let fs = Update_log.frag_stats log in
+      (* Tag skew: one tag scattered over that many segments degrades
+         its structural joins even when overall fragmentation is mild,
+         so it lowers the bar to "any multi-segment subtree". *)
+      let skew =
+        cfg.pack_tag_skew > 0 && fs.Update_log.max_tag_segments >= cfg.pack_tag_skew
+      in
       (* O(1) gate before the O(segments) subtree scan: no subtree can
          beat a bound the whole log does not reach. *)
       let pick =
         if
-          fs.Update_log.live_segments > cfg.pack_min_segments
+          skew
+          || fs.Update_log.live_segments > cfg.pack_min_segments
           || fs.Update_log.er_depth >= cfg.pack_min_depth
         then
           Update_log.fragmented_subtrees log
           |> List.find_opt (fun (s : Update_log.subtree_frag) ->
                  s.Update_log.segments > 1
                  && s.Update_log.len <= cfg.max_pack_bytes
-                 && (s.Update_log.segments > cfg.pack_min_segments
+                 && (skew
+                    || s.Update_log.segments > cfg.pack_min_segments
                     || s.Update_log.depth >= cfg.pack_min_depth))
         else None
       in

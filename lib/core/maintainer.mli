@@ -43,6 +43,13 @@ type config = {
   pack_min_segments : int;
       (** pack a subtree holding more live segments than this *)
   pack_min_depth : int;  (** ... or an ER chain at least this deep *)
+  pack_tag_skew : int;
+      (** when some single tag's list spans at least this many
+          segments ({!Lxu_seglog.Update_log.frag_stats}'
+          [max_tag_segments]), treat the log as fragmented and accept
+          any multi-segment subtree — structural joins over that tag
+          degrade even when overall fragmentation is mild
+          ([0] disables the trigger) *)
   max_pack_bytes : int;
       (** never pack an extent larger than this — keeps each step
           (and its writer-lock hold) small *)
@@ -56,7 +63,7 @@ type config = {
 }
 
 val default_config : config
-(** [{ pack_min_segments = 8; pack_min_depth = 4;
+(** [{ pack_min_segments = 8; pack_min_depth = 4; pack_tag_skew = 0;
       max_pack_bytes = 1 lsl 20; checkpoint_wal_bytes = 1 lsl 20;
       merge_dirty_tags = 16; backup_every = 0; backup_dir = None }] *)
 

@@ -361,7 +361,193 @@ let eval_log_holistic log steps =
   |> List.map (fun (l : Interval.t) -> (l.Interval.start, l.Interval.stop))
   |> List.sort compare
 
-let eval ?(strategy = Pairwise) ?guard db steps =
+(* --- planned evaluation (lib/plan) -------------------------------------- *)
+
+module Sid_set = Set.Make (Int)
+
+let chain_of_steps (steps : t) =
+  let arr = Array.of_list steps in
+  {
+    Lxu_plan.Plan.tags = Array.map (fun s -> s.tag) arr;
+    axes =
+      Array.map
+        (fun s ->
+          match s.axis with Desc -> Lxu_plan.Plan.Desc | Child -> Lxu_plan.Plan.Child)
+        arr;
+    has_preds = has_predicates steps;
+  }
+
+exception Empty_result
+
+(* Executes an [Ordered] plan: anchor at the seed step, climb towards
+   the head restricting each join's descendant side to the current
+   frontier's segments (plus synopsis ancestor-tag evidence — selective
+   Proposition 3), then descend towards the tail replaying the cached
+   up-phase pairs through the seed and running ancestor-restricted
+   joins past it.  The final per-step survivor sets equal naive
+   left-to-right evaluation's: the up phase's extra
+   "reaches-the-seed-downward" constraint vanishes by the time the seed
+   is crossed, and only the final step's extents are returned — so
+   results are fingerprint-identical to the naive order.
+
+   [actual_step]/[actual_pairs] of the plan are filled in as execution
+   proceeds (the explain output's actuals). *)
+let eval_log_planned ?guard ?pool log (steps : t) (o : Lxu_plan.Plan.ordered) =
+  let ops = log_ops ?guard log in
+  let stepsa = Array.of_list steps in
+  let n = Array.length stepsa in
+  let syn = Update_log.synopsis log in
+  let reg = Update_log.registry log in
+  let k = o.Lxu_plan.Plan.seed in
+  let anc_key (p : Lxu_join.Lazy_join.pair) =
+    (p.Lxu_join.Lazy_join.a_sid, p.Lxu_join.Lazy_join.a_start)
+  and desc_key (p : Lxu_join.Lazy_join.pair) =
+    (p.Lxu_join.Lazy_join.d_sid, p.Lxu_join.Lazy_join.d_start)
+  in
+  let segs_of set = Ref_set.fold (fun (sid, _) acc -> Sid_set.add sid acc) set Sid_set.empty in
+  (* Summary evidence: may any element of the segment have an ancestor
+     tagged like step [anc_i]?  [false] proves no pair can come out of
+     the segment, so it is skipped before any element access. *)
+  let prop3 anc_i =
+    match Tag_registry.find reg stepsa.(anc_i).tag with
+    | None -> fun _ -> true
+    | Some tid -> fun sid -> Path_synopsis.may_have_ancestor syn ~sid ~tid
+  in
+  let spec_for dir anc_i =
+    Array.fold_left
+      (fun acc (js : Lxu_plan.Plan.join_spec) ->
+        if js.Lxu_plan.Plan.dir = dir && js.Lxu_plan.Plan.anc = anc_i then Some js else acc)
+      None o.Lxu_plan.Plan.joins
+  in
+  let run_join ~dir ~anc_i ~desc_i ~a_filter ~d_filter =
+    Lxu_util.Deadline.check_opt guard;
+    let spec = spec_for dir anc_i in
+    let push_filter, trim_top =
+      match spec with
+      | Some s -> (s.Lxu_plan.Plan.push_filter, s.Lxu_plan.Plan.trim_top)
+      | None -> (true, true)
+    in
+    let jaxis =
+      match stepsa.(desc_i).axis with
+      | Desc -> Lxu_join.Lazy_join.Descendant
+      | Child -> Lxu_join.Lazy_join.Child
+    in
+    let pairs =
+      fst
+        (Lxu_join.Lazy_join.run ~axis:jaxis ~push_filter ~trim_top ?a_filter ?d_filter
+           ?pool ?guard log ~anc:stepsa.(anc_i).tag ~desc:stepsa.(desc_i).tag ())
+    in
+    (match spec with Some s -> s.Lxu_plan.Plan.actual_pairs <- Array.length pairs | None -> ());
+    pairs
+  in
+  let record i set = o.Lxu_plan.Plan.actual_step.(i) <- Ref_set.cardinal set in
+  try
+    (* Spine-match estimates are exact upper bounds (predicates only
+       shrink sets), so a zero at the tail is a synopsis proof of
+       emptiness: nothing to execute. *)
+    if o.Lxu_plan.Plan.est_step.(n - 1) = 0 then raise Empty_result;
+    (* Seed set. *)
+    let a_sets = Array.make n Ref_set.empty in
+    let init =
+      let s = ops.all stepsa.(k).tag in
+      let s = if k = 0 && stepsa.(0).axis = Child then ops.roots_only stepsa.(0).tag s else s in
+      apply_predicates ops ~tag:stepsa.(k).tag s stepsa.(k).predicates
+    in
+    a_sets.(k) <- init;
+    (* Up phase: frontier sets A_i (elements of step i with a full
+       predicate-checked chain down to the seed), with the join pairs
+       cached for replay on the way back down. *)
+    let cached = Array.make (max 1 (n - 1)) [||] in
+    for i = k - 1 downto 0 do
+      let above = a_sets.(i + 1) in
+      if Ref_set.is_empty above then raise Empty_result;
+      let restr = segs_of above in
+      let p3 = prop3 i in
+      let d_filter (e : Tag_list.entry) =
+        Sid_set.mem e.Tag_list.sid restr && p3 e.Tag_list.sid
+      in
+      let pairs =
+        run_join ~dir:`Up ~anc_i:i ~desc_i:(i + 1) ~a_filter:None ~d_filter:(Some d_filter)
+      in
+      let kept =
+        Array.of_list
+          (List.filter (fun p -> Ref_set.mem (desc_key p) above) (Array.to_list pairs))
+      in
+      cached.(i) <- kept;
+      let aset =
+        Array.fold_left (fun acc p -> Ref_set.add (anc_key p) acc) Ref_set.empty kept
+      in
+      let aset =
+        if i = 0 && stepsa.(0).axis = Child then ops.roots_only stepsa.(0).tag aset else aset
+      in
+      a_sets.(i) <- apply_predicates ops ~tag:stepsa.(i).tag aset stepsa.(i).predicates
+    done;
+    (* Down phase. *)
+    let b = ref a_sets.(0) in
+    record 0 !b;
+    for i = 1 to n - 1 do
+      if Ref_set.is_empty !b then raise Empty_result;
+      let prev = !b in
+      let next =
+        if i <= k then
+          (* Through the seed: replay the cached pairs — descendants
+             are already inside the predicate-checked frontier A_i, so
+             no join runs and no predicates re-apply. *)
+          Array.fold_left
+            (fun acc p ->
+              if Ref_set.mem (anc_key p) prev then Ref_set.add (desc_key p) acc else acc)
+            Ref_set.empty cached.(i - 1)
+        else begin
+          let restr = segs_of prev in
+          let a_filter (e : Tag_list.entry) = Sid_set.mem e.Tag_list.sid restr in
+          let p3 = prop3 (i - 1) in
+          let d_filter (e : Tag_list.entry) = p3 e.Tag_list.sid in
+          let pairs =
+            run_join ~dir:`Down ~anc_i:(i - 1) ~desc_i:i ~a_filter:(Some a_filter)
+              ~d_filter:(Some d_filter)
+          in
+          let s =
+            Array.fold_left
+              (fun acc p ->
+                if Ref_set.mem (anc_key p) prev then Ref_set.add (desc_key p) acc else acc)
+              Ref_set.empty pairs
+          in
+          apply_predicates ops ~tag:stepsa.(i).tag s stepsa.(i).predicates
+        end
+      in
+      b := next;
+      record i !b
+    done;
+    ops.extents stepsa.(n - 1).tag !b
+  with Empty_result ->
+    Array.iteri (fun i v -> if v < 0 then o.Lxu_plan.Plan.actual_step.(i) <- 0)
+      o.Lxu_plan.Plan.actual_step;
+    []
+
+(* Resolves the requested planning mode against the [LXU_PLAN] escape
+   hatch: [LXU_PLAN=naive] preserves strict left-to-right evaluation
+   regardless of the caller. *)
+let resolve_plan_mode plan =
+  match Sys.getenv_opt "LXU_PLAN" with Some "naive" -> `Naive | _ -> plan
+
+(* Cost-based plan for a spine over a log engine, and its execution.
+   Holistic auto-selection stays conservative (wide margin in the cost
+   model) and is disabled on frozen snapshots. *)
+let choose_plan ~force_seed log steps =
+  Lxu_plan.Plan.choose ?force_seed
+    ~allow_holistic:(not (Update_log.is_frozen log))
+    ~log (chain_of_steps steps)
+
+let eval_log_plan ?guard ?pool log steps plan =
+  match plan with
+  | Lxu_plan.Plan.Naive -> eval_steps (log_ops ?guard log) steps
+  | Lxu_plan.Plan.Holistic _ ->
+    (* Plans are only chosen for predicate-free chains here; sort_uniq
+       normalizes the leaf list to the extents fingerprint. *)
+    List.sort_uniq compare (eval_log_holistic log steps)
+  | Lxu_plan.Plan.Ordered o -> eval_log_planned ?guard ?pool log steps o
+
+let eval ?(strategy = Pairwise) ?(plan = `Auto) ?guard db steps =
   if steps = [] then invalid_arg "Path_query.eval: empty path";
   Lxu_util.Deadline.check_opt guard;
   match (Lazy_db.log db, strategy) with
@@ -376,10 +562,34 @@ let eval ?(strategy = Pairwise) ?guard db steps =
     Update_log.prepare_for_query log;
     Lxu_util.Deadline.check_opt guard;
     eval_log_twig log steps
-  | Some log, Pairwise ->
+  | Some log, Pairwise -> begin
     Update_log.prepare_for_query log;
-    eval_steps (log_ops ?guard log) steps
+    match resolve_plan_mode plan with
+    | `Naive -> eval_steps (log_ops ?guard log) steps
+    | (`Auto | `Seed _) as m ->
+      let force_seed = match m with `Seed s -> Some s | `Auto -> None in
+      eval_log_plan ?guard ?pool:(Lazy_db.query_pool db) log steps
+        (choose_plan ~force_seed log steps)
+  end
   | None, _ -> eval_steps (store_ops ?guard (Option.get (Lazy_db.store db))) steps
 
-let eval_string ?strategy ?guard db s = eval ?strategy ?guard db (parse_exn s)
-let count ?strategy ?guard db s = List.length (eval_string ?strategy ?guard db s)
+let explain ?guard db steps =
+  if steps = [] then invalid_arg "Path_query.explain: empty path";
+  match Lazy_db.log db with
+  | None ->
+    ("plan: STD fallback (interval store, naive left-to-right)", eval ?guard db steps)
+  | Some log -> begin
+    Update_log.prepare_for_query log;
+    match resolve_plan_mode `Auto with
+    | `Naive ->
+      ("plan: naive (LXU_PLAN=naive)", eval_steps (log_ops ?guard log) steps)
+    | _ ->
+      let plan = choose_plan ~force_seed:None log steps in
+      (* Execute first: the ordered plan's actual cardinalities are
+         filled in by the run, so the rendering carries est vs actual. *)
+      let results = eval_log_plan ?guard ?pool:(Lazy_db.query_pool db) log steps plan in
+      (Lxu_plan.Plan.explain (chain_of_steps steps) plan, results)
+  end
+
+let eval_string ?strategy ?plan ?guard db s = eval ?strategy ?plan ?guard db (parse_exn s)
+let count ?strategy ?plan ?guard db s = List.length (eval_string ?strategy ?plan ?guard db s)

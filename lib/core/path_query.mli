@@ -49,10 +49,30 @@ val parse_exn : string -> t
 val to_string : t -> string
 
 val eval :
-  ?strategy:strategy -> ?guard:Lxu_util.Deadline.guard -> Lazy_db.t -> t -> (int * int) list
+  ?strategy:strategy ->
+  ?plan:[ `Auto | `Naive | `Seed of int ] ->
+  ?guard:Lxu_util.Deadline.guard ->
+  Lazy_db.t ->
+  t ->
+  (int * int) list
 (** Matches of the final step, sorted by start position.  The
     [Holistic] strategy requires a lazy engine ([LD]/[LS]); on [STD]
     it falls back to [Pairwise].
+
+    [plan] controls cost-based planning of [Pairwise] evaluation on
+    lazy engines (it is ignored by [Holistic] and on [STD]):
+    {ul
+    {- [`Auto] (default): {!Lxu_plan.Plan.choose} picks the join order
+       (a seed step, joins climbing then descending from it), the
+       engine per join, and the push-optimization settings from the
+       path-summary synopsis; segments the synopsis proves irrelevant
+       are skipped ("selective Proposition 3").  Results are
+       fingerprint-identical to the naive order.}
+    {- [`Naive]: today's strict left-to-right composition.}
+    {- [`Seed k]: force the seed step (clamped), for benchmarking
+       hand-picked orders.}}
+    Setting the environment variable [LXU_PLAN=naive] forces [`Naive]
+    regardless of [plan].
 
     [guard] makes evaluation cooperative: it is threaded into every
     per-step Lazy-Join and checked between steps and per tag-list
@@ -60,8 +80,28 @@ val eval :
     promptly after a cancel or deadline expiry.
     @raise Invalid_argument on an empty path. *)
 
+val explain :
+  ?guard:Lxu_util.Deadline.guard -> Lazy_db.t -> t -> string * (int * int) list
+(** Plans the path as [eval ~plan:`Auto], executes it, and returns a
+    human-readable rendering of the chosen plan — join order, engine
+    and push settings per join, estimated vs actual cardinalities —
+    together with the results (identical to [eval]'s).  On [STD] (or
+    under [LXU_PLAN=naive]) the string says so and evaluation is
+    naive. *)
+
 val eval_string :
-  ?strategy:strategy -> ?guard:Lxu_util.Deadline.guard -> Lazy_db.t -> string -> (int * int) list
+  ?strategy:strategy ->
+  ?plan:[ `Auto | `Naive | `Seed of int ] ->
+  ?guard:Lxu_util.Deadline.guard ->
+  Lazy_db.t ->
+  string ->
+  (int * int) list
 (** [parse] + [eval]. @raise Invalid_argument on a syntax error. *)
 
-val count : ?strategy:strategy -> ?guard:Lxu_util.Deadline.guard -> Lazy_db.t -> string -> int
+val count :
+  ?strategy:strategy ->
+  ?plan:[ `Auto | `Naive | `Seed of int ] ->
+  ?guard:Lxu_util.Deadline.guard ->
+  Lazy_db.t ->
+  string ->
+  int

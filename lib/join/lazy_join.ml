@@ -26,6 +26,7 @@ type stats = {
   mutable cross_pairs : int;
   mutable in_pairs : int;
   mutable elements_fetched : int;
+  mutable segments_prefiltered : int;
 }
 
 let zero_stats () =
@@ -38,6 +39,7 @@ let zero_stats () =
     cross_pairs = 0;
     in_pairs = 0;
     elements_fetched = 0;
+    segments_prefiltered = 0;
   }
 
 let add_stats into s =
@@ -48,7 +50,8 @@ let add_stats into s =
   into.in_segment_joins <- into.in_segment_joins + s.in_segment_joins;
   into.cross_pairs <- into.cross_pairs + s.cross_pairs;
   into.in_pairs <- into.in_pairs + s.in_pairs;
-  into.elements_fetched <- into.elements_fetched + s.elements_fetched
+  into.elements_fetched <- into.elements_fetched + s.elements_fetched;
+  into.segments_prefiltered <- into.segments_prefiltered + s.segments_prefiltered
 
 type frame = {
   node : Er_node.t;
@@ -483,8 +486,8 @@ let plan ?guard ~push_filter ~trim_top ~stats ~fetch_a ~emit_task log ~sla ~sld 
         incr id)
   done
 
-let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool ?guard
-    ?scratch log ~anc ~desc () =
+let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?a_filter ?d_filter
+    ?pool ?guard ?scratch log ~anc ~desc () =
   let stats = zero_stats () in
   Deadline.check_opt guard;
   Update_log.prepare_for_query log;
@@ -492,8 +495,23 @@ let run ?(axis = Descendant) ?(push_filter = true) ?(trim_top = true) ?pool ?gua
   match (Tag_registry.find reg anc, Tag_registry.find reg desc) with
   | None, _ | _, None -> ([||], stats)
   | Some tid_a, Some tid_d ->
-    let sla = Update_log.segments_for_tag log ~tag:anc in
-    let sld = Update_log.segments_for_tag log ~tag:desc in
+    (* Planner-supplied prefilters (selective Proposition 3): entries
+       dropped here are skipped before any ER-tree or element-index
+       access.  An A-side drop removes exactly the pairs whose ancestor
+       lives in that segment (in-segment pairs included — the in-seg
+       trigger fires off the current SL_A entry); a D-side drop removes
+       exactly the pairs whose descendant lives there. *)
+    let prefilter f arr =
+      match f with
+      | None -> arr
+      | Some keep ->
+        let kept = Array.of_list (List.filter keep (Array.to_list arr)) in
+        stats.segments_prefiltered <-
+          stats.segments_prefiltered + Array.length arr - Array.length kept;
+        kept
+    in
+    let sla = prefilter a_filter (Update_log.segments_for_tag log ~tag:anc) in
+    let sld = prefilter d_filter (Update_log.segments_for_tag log ~tag:desc) in
     (* Columnar elements of one tag in one segment, resolved through
        the log's cache; the snapshots are then shared by every emitted
        pair.  [into] receives the fetch count — the per-chunk stats

@@ -65,6 +65,9 @@ type stats = {
   mutable cross_pairs : int;
   mutable in_pairs : int;
   mutable elements_fetched : int;  (** element-index records read *)
+  mutable segments_prefiltered : int;
+      (** SL entries dropped by the caller's [a_filter]/[d_filter]
+          before any ER-tree or element access *)
 }
 
 type scratch
@@ -84,6 +87,8 @@ val run :
   ?axis:axis ->
   ?push_filter:bool ->
   ?trim_top:bool ->
+  ?a_filter:(Lxu_seglog.Tag_list.entry -> bool) ->
+  ?d_filter:(Lxu_seglog.Tag_list.entry -> bool) ->
   ?pool:Lxu_util.Domain_pool.t ->
   ?guard:Lxu_util.Deadline.guard ->
   ?scratch:scratch ->
@@ -102,6 +107,17 @@ val run :
     frame the elements ending before the pushed segment.  Both flags
     exist for the ablation benchmark; disabling them changes cost, not
     results.
+
+    [a_filter]/[d_filter] (default: keep everything) drop tag-list
+    entries from [SL_A]/[SL_D] before the merge pass — the planner's
+    selective Proposition 3.  A dropped entry is never resolved to an
+    ER node and its elements are never fetched.  Soundness is the
+    caller's contract: the result is exactly the unfiltered pair set
+    minus pairs whose ancestor (A-side drop) or descendant (D-side
+    drop) lives in a dropped segment, so filters are lossless whenever
+    the caller only discards segments it can prove contribute no
+    wanted pair (e.g. by synopsis evidence or membership of a
+    restriction set).
 
     [pool] runs the per-segment join units on the given domain pool
     (see the module comment); omitted, or with a pool of size 1, the

@@ -17,7 +17,15 @@ exception Dirty_tag_list of int
    sort, in arrival order; [sort_all] sorts only the pending run and
    merges the two, O(n + p·log p) instead of a full O((n+p)·log(n+p))
    re-sort.  Clean slots have an empty pending run. *)
-type slot = { entries : entry Vec.t; pending : entry Vec.t; mutable dirty : bool }
+type slot = {
+  entries : entry Vec.t;
+  pending : entry Vec.t;
+  mutable dirty : bool;
+  mutable elems : int;
+      (* live elements across both runs, kept current by every
+         add/decrement/removal so per-tag cardinality reads are O(1)
+         even while the slot is dirty *)
+}
 
 type t = {
   lists : (int, slot) Hashtbl.t;
@@ -31,7 +39,7 @@ let slot_for t tid =
   match Hashtbl.find_opt t.lists tid with
   | Some s -> s
   | None ->
-    let s = { entries = Vec.create (); pending = Vec.create (); dirty = false } in
+    let s = { entries = Vec.create (); pending = Vec.create (); dirty = false; elems = 0 } in
     Hashtbl.add t.lists tid s;
     s
 
@@ -51,11 +59,13 @@ let add_sorted t ~tid entry ~gp_of =
     in
     Vec.insert_at s.entries i entry
   end;
+  s.elems <- s.elems + entry.count;
   t.path_ops <- t.path_ops + 1
 
 let append t ~tid entry =
   let s = slot_for t tid in
   Vec.push s.pending entry;
+  s.elems <- s.elems + entry.count;
   soil t s;
   t.path_ops <- t.path_ops + 1
 
@@ -144,13 +154,17 @@ let mark_dirty t =
 
 (* Compact in place with a write cursor: removing k of n entries costs
    one pass and zero allocation, instead of rebuilding the whole vector
-   through a temporary copy. *)
-let remove_where t v pred =
+   through a temporary copy.  Removed entries leave the slot's element
+   counter with them. *)
+let remove_where t s v pred =
   let n = Vec.length v in
   let w = ref 0 in
   for i = 0 to n - 1 do
     let e = Vec.get v i in
-    if pred e then t.path_ops <- t.path_ops + 1
+    if pred e then begin
+      s.elems <- s.elems - e.count;
+      t.path_ops <- t.path_ops + 1
+    end
     else begin
       if !w < i then Vec.set v !w e;
       incr w
@@ -163,8 +177,14 @@ let decrement t ~tid ~sid ~by =
   | None -> ()
   | Some s ->
     let touch v =
-      Vec.iter (fun e -> if e.sid = sid then e.count <- e.count - by) v;
-      remove_where t v (fun e -> e.sid = sid && e.count <= 0)
+      Vec.iter
+        (fun e ->
+          if e.sid = sid then begin
+            e.count <- e.count - by;
+            s.elems <- s.elems - by
+          end)
+        v;
+      remove_where t s v (fun e -> e.sid = sid && e.count <= 0)
     in
     touch s.entries;
     touch s.pending
@@ -172,8 +192,8 @@ let decrement t ~tid ~sid ~by =
 let remove_segment t ~sid =
   Hashtbl.iter
     (fun _ s ->
-      remove_where t s.entries (fun e -> e.sid = sid);
-      remove_where t s.pending (fun e -> e.sid = sid))
+      remove_where t s s.entries (fun e -> e.sid = sid);
+      remove_where t s s.pending (fun e -> e.sid = sid))
     t.lists
 
 let clone t =
@@ -187,7 +207,12 @@ let clone t =
   Hashtbl.iter
     (fun tid s ->
       Hashtbl.add lists tid
-        { entries = copy_run s.entries; pending = copy_run s.pending; dirty = s.dirty })
+        {
+          entries = copy_run s.entries;
+          pending = copy_run s.pending;
+          dirty = s.dirty;
+          elems = s.elems;
+        })
     t.lists;
   { lists; dirty_count = t.dirty_count; path_ops = t.path_ops }
 
@@ -197,6 +222,24 @@ let entries t ~tid =
   | Some s ->
     if s.dirty then raise (Dirty_tag_list tid);
     Vec.to_array s.entries
+
+(* O(1) per-tag cardinality, readable while the slot is dirty: the two
+   run lengths (and the maintained element counter) never depend on
+   sortedness, unlike [entries]. *)
+let tag_segments t ~tid =
+  match Hashtbl.find_opt t.lists tid with
+  | None -> 0
+  | Some s -> Vec.length s.entries + Vec.length s.pending
+
+let tag_elements t ~tid =
+  match Hashtbl.find_opt t.lists tid with None -> 0 | Some s -> s.elems
+
+(* Widest tag-list (in segments): the skew signal the maintenance
+   scheduler prioritizes by.  O(distinct tags), no sort forced. *)
+let max_segments t =
+  Hashtbl.fold
+    (fun _ s acc -> max acc (Vec.length s.entries + Vec.length s.pending))
+    t.lists 0
 
 let tids t = Hashtbl.fold (fun tid _ acc -> tid :: acc) t.lists [] |> List.sort Int.compare
 

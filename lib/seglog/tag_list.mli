@@ -75,6 +75,22 @@ val entries : t -> tid:int -> entry array
     {!sort_all} first); other tags being dirty does not block the
     read. *)
 
+val tag_segments : t -> tid:int -> int
+(** Number of segments holding at least one element of the tag:
+    main-run length plus pending-run length, O(1) and readable while
+    the tag's list is dirty (cardinality never depends on order, so no
+    sort is forced, unlike {!entries}). *)
+
+val tag_elements : t -> tid:int -> int
+(** Live elements of the tag across all segments, O(1) via a counter
+    maintained by every add/decrement/removal; also readable while
+    dirty. *)
+
+val max_segments : t -> int
+(** The widest per-tag list, in segments — the tag-skew signal
+    surfaced through [Update_log.frag_stats] for the maintenance
+    scheduler.  O(distinct tags), no sort forced. *)
+
 val tids : t -> int list
 
 val path_ops : t -> int

@@ -22,6 +22,7 @@ type t = {
   mutable sb_dirty : bool;
   tag_list : Tag_list.t;
   element_index : Element_index.t;
+  mutable synopsis : Path_synopsis.t;
   cache : Seg_cache.t;
   mutable next_sid : int;
   mutable live_segments : int;  (* segments alive, dummy root excluded *)
@@ -52,6 +53,7 @@ let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) 
     sb_dirty = false;
     tag_list = Tag_list.create ();
     element_index = Element_index.create ~branching ();
+    synopsis = Path_synopsis.create ();
     cache = Seg_cache.create ?max_bytes:cache_bytes ();
     next_sid = 1;
     live_segments = 0;
@@ -107,6 +109,7 @@ let element_index t = t.element_index
 let metrics t = t.metrics
 let tag_list t = t.tag_list
 let cache t = t.cache
+let synopsis t = t.synopsis
 
 (* gp resolution used to keep tag lists sorted; walks the ER-tree
    structures already in memory, independent of SB-tree freshness. *)
@@ -114,6 +117,38 @@ let gp_table t =
   let table = Hashtbl.create 256 in
   Er_node.iter_subtree t.root (fun n -> Hashtbl.replace table n.Er_node.sid n.Er_node.gp);
   fun sid -> Hashtbl.find table sid
+
+(* From-scratch path synopsis of an ER-tree: the incremental oracle
+   (used by [load], [check] and the tests).  Context chains come from
+   the current skeletons with the same strict-containment predicate
+   insertion uses; pre-order traversal guarantees a parent's chain is
+   recorded before its children need it. *)
+let synopsis_of_tree (root : Er_node.t) =
+  let open Er_node in
+  let syn = Path_synopsis.create () in
+  let ctxs = Hashtbl.create 64 in
+  Hashtbl.add ctxs root.sid [||];
+  Er_node.iter_subtree root (fun n ->
+      if not (is_root n) then begin
+        let parent = match n.parent with Some p -> p | None -> root in
+        let pctx = try Hashtbl.find ctxs parent.sid with Not_found -> [||] in
+        let own =
+          Vec.fold_left
+            (fun acc (e : elem) ->
+              if e.start < n.lp && e.stop > n.lp then e.tid :: acc else acc)
+            [] parent.elems
+        in
+        let ctx =
+          match own with
+          | [] -> pctx
+          | _ -> Array.append pctx (Array.of_list (List.rev own))
+        in
+        Hashtbl.add ctxs n.sid ctx;
+        Path_synopsis.add_segment syn ~sid:n.sid ~ctx_tids:ctx ~elems:n.elems
+      end);
+  syn
+
+let synopsis_rebuilt t = synopsis_of_tree t.root
 
 (* --- insertion (Figure 5) ------------------------------------------ *)
 
@@ -170,7 +205,26 @@ let link_new_segment t ~gp ~text ~elems_for =
     in
     max vlow prev_lp
   in
-  let base_level = depth_at parent lp in
+  (* One early-exit prefix scan (the [depth_at] predicate) yields both
+     the splice depth and the tids of the parent elements strictly
+     containing the splice point — the segment's own slice of its
+     context chain, collected here so the synopsis bookkeeping below
+     never re-walks [parent.elems]. *)
+  let base_level, own_ctx =
+    let depth = ref parent.base_level in
+    let own = ref [] in
+    let i = ref 0 in
+    let n = Vec.length parent.elems in
+    while !i < n && (Vec.get parent.elems !i).start < lp do
+      let e = Vec.get parent.elems !i in
+      if e.stop > lp then begin
+        incr depth;
+        own := e.tid :: !own
+      end;
+      incr i
+    done;
+    (!depth, List.rev !own)
+  in
   (* Step 4: build and link the node. *)
   let sid = t.next_sid in
   t.next_sid <- t.next_sid + 1;
@@ -184,6 +238,20 @@ let link_new_segment t ~gp ~text ~elems_for =
   in
   let d = chain 0 node in
   if d > t.er_depth then t.er_depth <- d;
+  (* Path synopsis: the segment's context chain is its parent's chain
+     plus the containing elements collected above, so the chain length
+     equals [base_level].  It is immutable for the segment's lifetime:
+     an enclosing element's extent covers the whole segment, so
+     removing it removes the segment too. *)
+  let ctx_tids =
+    let pctx =
+      if is_root parent then [||] else Path_synopsis.context t.synopsis ~sid:parent.sid
+    in
+    match own_ctx with
+    | [] -> pctx
+    | own -> Array.append pctx (Array.of_list own)
+  in
+  Path_synopsis.add_segment t.synopsis ~sid ~ctx_tids ~elems:node.elems;
   node
 
 (* Distinct-tag element counts of a segment, for tag-list entries. *)
@@ -413,6 +481,7 @@ let remove t ~gp ~len =
   let delete_subtree k =
     Er_node.iter_subtree k (fun n ->
         removed_sids := n.sid :: !removed_sids;
+        Path_synopsis.remove_segment t.synopsis ~sid:n.sid ~elems:n.elems;
         Vec.iter
           (fun (e : elem) ->
             t.metrics.elements_removed <- t.metrics.elements_removed + 1;
@@ -426,6 +495,12 @@ let remove t ~gp ~len =
   (* Removes virtual range [vu, vv) of [s]'s own text: tombstone it and
      drop the elements it covered. *)
   let tombstone_own s vu vv =
+    (* Synopsis decrements need the pre-removal skeleton (surviving
+       elements still enclose the removed ones during the scan);
+       [validate_remove] already rejected element-splitting ranges, so
+       this runs only on edits that will complete. *)
+    Path_synopsis.remove_matching ~until:vv t.synopsis ~sid:s.sid ~elems:s.elems
+      ~removed:(fun (e : elem) -> e.start >= vu && e.stop <= vv);
     (* Collect covered elements first; reject element-splitting edits. *)
     let kept = Vec.create () in
     Vec.iter
@@ -749,7 +824,11 @@ let check t =
   if t.live_segments <> segment_count_walk t then
     failwith
       (Printf.sprintf "segment counter says %d, ER-tree walk says %d" t.live_segments
-         (segment_count_walk t))
+         (segment_count_walk t));
+  (* The incrementally maintained path synopsis agrees with a
+     from-scratch rebuild off the skeletons. *)
+  if not (Path_synopsis.equal t.synopsis (synopsis_of_tree t.root)) then
+    failwith "path synopsis disagrees with a from-scratch rebuild"
 
 (* --- frozen snapshots (MVCC read side) ------------------------------- *)
 
@@ -778,6 +857,7 @@ let freeze t ~epoch =
     (* No element index: the snapshot serves element sets from the
        cloned skeletons, through the shared versioned cache. *)
     element_index = Element_index.create ~branching:t.branching ();
+    synopsis = Path_synopsis.clone t.synopsis;
     cache = t.cache;
     next_sid = t.next_sid;
     live_segments = t.live_segments;
@@ -933,6 +1013,7 @@ let load ic =
           counts
       end);
   t.sb_dirty <- true;
+  t.synopsis <- synopsis_of_tree t.root;
   ignore (refresh_er_depth t);
   prepare_for_query t;
   full_check t;
@@ -946,6 +1027,7 @@ type frag_stats = {
   er_depth : int;
   dirty_tags : int;
   doc_bytes : int;
+  max_tag_segments : int;
 }
 
 let frag_stats (t : t) =
@@ -955,6 +1037,7 @@ let frag_stats (t : t) =
     er_depth = t.er_depth;
     dirty_tags = Tag_list.dirty_count t.tag_list;
     doc_bytes = t.root.Er_node.len;
+    max_tag_segments = Tag_list.max_segments t.tag_list;
   }
 
 type subtree_frag = { sid : int; gp : int; len : int; segments : int; depth : int }

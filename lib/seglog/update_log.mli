@@ -135,6 +135,19 @@ val cache : t -> Seg_cache.t
 
 val tag_list : t -> Tag_list.t
 
+val synopsis : t -> Path_synopsis.t
+(** The log's path-summary synopsis: exact per-root-to-element-path
+    counts, maintained incrementally by {!insert}, {!insert_batch} and
+    {!remove} (and therefore by packing, which is remove+insert).
+    Frozen snapshots carry an independent clone.  The planner's input:
+    cardinality estimation and Proposition-3 segment skipping read it
+    without forcing a dirty tag-list sort. *)
+
+val synopsis_rebuilt : t -> Path_synopsis.t
+(** From-scratch synopsis rebuilt off the current segment skeletons —
+    the incremental-maintenance oracle ({!check} asserts the two agree;
+    exposed for the tests). *)
+
 val materialize : t -> string
 (** Reconstructs the full super-document text from the ER-tree — the
     correctness oracle: it must equal the text produced by applying
@@ -200,10 +213,17 @@ type frag_stats = {
           {!fragmented_subtrees} scan *)
   dirty_tags : int;  (** per-tag pending runs awaiting a sort/merge *)
   doc_bytes : int;
+  max_tag_segments : int;
+      (** the widest per-tag list, in segments — tag skew: a tag
+          scattered over many segments makes every join touching it
+          pay a long merge pass, so the scheduler can prioritize
+          packing by it *)
 }
 
 val frag_stats : t -> frag_stats
-(** O(1) snapshot of the counters above. *)
+(** Snapshot of the counters above.  All are O(1) reads except
+    [max_tag_segments], which scans the distinct tags (no sort
+    forced). *)
 
 type subtree_frag = {
   sid : int;

@@ -23,7 +23,14 @@
 #                                   freshly rebuilt store (same 10%
 #                                   grace) while manual-only stays
 #                                   measurably degraded above 4x
-#                                   (BENCH_maint.json)
+#                                   (BENCH_maint.json), or if the
+#                                   cost-based twig planner stops
+#                                   paying: planned results must equal
+#                                   naive's, beat naive >= 3x on at
+#                                   least half the reversed-
+#                                   selectivity suite, and never run
+#                                   a query > 1.1x slower
+#                                   (BENCH_plan.json)
 #   scripts/bench_gate.sh --smoke   no benchmark run: just check that
 #                                   the committed baselines parse,
 #                                   carry positive throughputs, and
@@ -38,9 +45,10 @@
 #   dune exec bench/main.exe -- update
 #   dune exec bench/main.exe -- mvcc
 #   dune exec bench/main.exe -- maint
+#   dune exec bench/main.exe -- plan
 # which rewrite BENCH_join.json / BENCH_update.json / BENCH_mvcc.json
-# / BENCH_maint.json in place; commit them alongside any intentional
-# perf change.
+# / BENCH_maint.json / BENCH_plan.json in place; commit them alongside
+# any intentional perf change.
 set -eu
 
 root=$(dirname "$0")/..
@@ -48,6 +56,7 @@ join_baseline="$root/BENCH_join.json"
 update_baseline="$root/BENCH_update.json"
 mvcc_baseline="$root/BENCH_mvcc.json"
 maint_baseline="$root/BENCH_maint.json"
+plan_baseline="$root/BENCH_plan.json"
 
 # Pulls the domains=1 pairs_per_sec out of a BENCH_join.json.  The
 # bench writer emits compact single-line JSON with a fixed key order
@@ -98,6 +107,32 @@ extract_maint_manual() {
     | cut -d: -f2
 }
 
+# Pulls frac_ge3 (fraction of the reversed-selectivity twig suite
+# where planned evaluation is >= 3x naive), worst_ratio (max
+# planned/naive time — the planner-overhead bound) and
+# fingerprints_ok (all plans returned identical extents) out of a
+# BENCH_plan.json.
+extract_plan_frac() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"frac_ge3":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+extract_plan_worst() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"worst_ratio":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+extract_plan_fp() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"fingerprints_ok":[a-z]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
 [ -f "$join_baseline" ] || { echo "bench_gate: missing $join_baseline" >&2; exit 1; }
 [ -f "$update_baseline" ] || { echo "bench_gate: missing $update_baseline" >&2; exit 1; }
 join_base=$(extract_join "$join_baseline")
@@ -134,9 +169,30 @@ if ! awk -v r="$maint_manual_base" 'BEGIN { exit !(r + 0 >= 4.0) }'; then
   echo "bench_gate: committed maint manual_ratio ${maint_manual_base} is below 4x — the un-maintained store no longer degrades, so the comparison is vacuous" >&2
   exit 1
 fi
+[ -f "$plan_baseline" ] || { echo "bench_gate: missing $plan_baseline" >&2; exit 1; }
+plan_frac_base=$(extract_plan_frac "$plan_baseline")
+case "$plan_frac_base" in
+  '') echo "bench_gate: no frac_ge3 in $plan_baseline" >&2; exit 1 ;;
+esac
+plan_worst_base=$(extract_plan_worst "$plan_baseline")
+case "$plan_worst_base" in
+  ''|0) echo "bench_gate: no worst_ratio in $plan_baseline" >&2; exit 1 ;;
+esac
+if [ "$(extract_plan_fp "$plan_baseline")" != "true" ]; then
+  echo "bench_gate: committed plan baseline has fingerprints_ok != true — planned results diverged from naive" >&2
+  exit 1
+fi
+if ! awk -v f="$plan_frac_base" 'BEGIN { exit !(f + 0 >= 0.5) }'; then
+  echo "bench_gate: committed plan frac_ge3 ${plan_frac_base} is below the 0.5 floor — planning no longer pays for the twig suite" >&2
+  exit 1
+fi
+if ! awk -v r="$plan_worst_base" 'BEGIN { exit !(r + 0 <= 1.1) }'; then
+  echo "bench_gate: committed plan worst_ratio ${plan_worst_base} exceeds the 1.1x never-slower bound" >&2
+  exit 1
+fi
 
 if [ "${1:-}" = "--smoke" ]; then
-  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s, mvcc p99 ratio ${mvcc_base}, maint ratios ${maint_auto_base}/${maint_manual_base})"
+  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s, mvcc p99 ratio ${mvcc_base}, maint ratios ${maint_auto_base}/${maint_manual_base}, plan ${plan_frac_base} >=3x / worst ${plan_worst_base})"
   exit 0
 fi
 
@@ -146,7 +202,8 @@ tmp=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp2=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp3=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp4=$(mktemp /tmp/bench_gate.XXXXXX.json)
-trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4"' EXIT
+tmp5=$(mktemp /tmp/bench_gate.XXXXXX.json)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5"' EXIT
 
 (cd "$root" && dune exec bench/main.exe -- parallel --json "$tmp" >/dev/null)
 join_new=$(extract_join "$tmp")
@@ -214,6 +271,38 @@ if awk -v n="$maint_manual_new" 'BEGIN { exit !(n + 0 >= 4.0) }'; then
   echo "bench_gate: maint debt evidence OK (manual-only p99 ratio ${maint_manual_new}, floor 4x)"
 else
   echo "bench_gate: maint FAIL (manual-only p99 ratio ${maint_manual_new} below the 4x degradation floor — comparison is vacuous)" >&2
+  fail=1
+fi
+
+# Cost-based twig planning: planned evaluation must return extents
+# identical to the naive order (hard fail otherwise), beat naive >= 3x
+# on at least half the reversed-selectivity suite, and never run a
+# query more than 1.1x slower than naive — with the same 10% grace
+# against the committed worst_ratio the other gates have.
+(cd "$root" && dune exec bench/main.exe -- plan --json "$tmp5" >/dev/null)
+plan_fp_new=$(extract_plan_fp "$tmp5")
+if [ "$plan_fp_new" != "true" ]; then
+  echo "bench_gate: plan FAIL (planned results diverged from naive — fingerprints_ok=${plan_fp_new:-missing})" >&2
+  fail=1
+fi
+plan_frac_new=$(extract_plan_frac "$tmp5")
+case "$plan_frac_new" in
+  '') echo "bench_gate: benchmark produced no frac_ge3" >&2; exit 1 ;;
+esac
+plan_worst_new=$(extract_plan_worst "$tmp5")
+case "$plan_worst_new" in
+  ''|0) echo "bench_gate: benchmark produced no worst_ratio" >&2; exit 1 ;;
+esac
+if awk -v f="$plan_frac_new" 'BEGIN { exit !(f + 0 >= 0.5) }'; then
+  echo "bench_gate: plan speedup OK (frac >=3x ${plan_frac_new} vs baseline ${plan_frac_base}, floor 0.5)"
+else
+  echo "bench_gate: plan FAIL (frac >=3x ${plan_frac_new} is below the 0.5 floor)" >&2
+  fail=1
+fi
+if awk -v n="$plan_worst_new" -v b="$plan_worst_base" 'BEGIN { exit !(n + 0 <= 1.1 || n + 0 <= b / 0.9) }'; then
+  echo "bench_gate: plan overhead OK (worst planned/naive ${plan_worst_new} vs baseline ${plan_worst_base}, bound 1.1x)"
+else
+  echo "bench_gate: plan FAIL (worst planned/naive ${plan_worst_new} exceeds the 1.1x bound and baseline ${plan_worst_base} + 10%)" >&2
   fail=1
 fi
 

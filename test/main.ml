@@ -10,6 +10,8 @@ let () =
       ("er_node", Test_er_node.suite);
       ("element_index", Test_element_index.suite);
       ("tag_list", Test_tag_list.suite);
+      ("synopsis", Test_synopsis.suite);
+      ("plan", Test_plan.suite);
       ("join", Test_join.suite);
       ("join2", Test_join2.suite);
       ("path_query", Test_path_query.suite);

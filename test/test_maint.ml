@@ -190,7 +190,35 @@ let test_config_validation () =
   let db = Lazy_db.create () in
   Alcotest.check_raises "pack_min_segments < 1"
     (Invalid_argument "Maintainer: pack_min_segments < 1") (fun () ->
-      ignore (Maintainer.of_db ~config:{ quiet_config with pack_min_segments = 0 } db))
+      ignore (Maintainer.of_db ~config:{ quiet_config with pack_min_segments = 0 } db));
+  Alcotest.check_raises "pack_tag_skew < 0"
+    (Invalid_argument "Maintainer: pack_tag_skew < 0") (fun () ->
+      ignore (Maintainer.of_db ~config:{ quiet_config with pack_tag_skew = -1 } db))
+
+(* --- tag-skew pack trigger -------------------------------------------- *)
+
+let test_tag_skew_pack () =
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  (* Tag b lands in every fragment: max_tag_segments grows with the
+     chain even though overall thresholds (999) never fire. *)
+  fragment_chain db 6;
+  (match Lazy_db.log db with
+  | None -> Alcotest.fail "LD db has a log"
+  | Some log ->
+    check_bool "skewed tag spans the chain" true
+      ((Update_log.frag_stats log).Update_log.max_tag_segments >= 6));
+  let quiet = Maintainer.of_db ~config:quiet_config db in
+  check_int "no trigger while disabled" 0 (Maintainer.run_until_idle quiet);
+  let fp = logical_fp db in
+  let m = Maintainer.of_db ~config:{ quiet_config with pack_tag_skew = 6 } db in
+  check_bool "skew triggers packs" true (Maintainer.run_until_idle m >= 1);
+  check_bool "packed" true ((Maintainer.stats m).Maintainer.packs >= 1);
+  check_logical ~ctx:"skew-triggered pack preserves state" fp db;
+  match Lazy_db.log db with
+  | None -> Alcotest.fail "LD db has a log"
+  | Some log ->
+    check_bool "skew defragmented" true
+      ((Update_log.frag_stats log).Update_log.max_tag_segments < 6)
 
 (* --- governed mode: shed-first under load ----------------------------- *)
 
@@ -408,6 +436,7 @@ let suite =
     Alcotest.test_case "tag-run merge job (LS)" `Quick test_merge_job;
     Alcotest.test_case "backup cadence + restore" `Quick test_backup_cadence;
     Alcotest.test_case "config validation" `Quick test_config_validation;
+    Alcotest.test_case "tag-skew pack trigger" `Quick test_tag_skew_pack;
     Alcotest.test_case "governed: busy defers to foreground writers" `Quick test_governed_busy;
     Alcotest.test_case "background loop start/stop" `Quick test_background_loop;
     Alcotest.test_case "pinned snapshot across auto-pack" `Quick test_pinned_snapshot_across_pack;

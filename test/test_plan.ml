@@ -1,0 +1,195 @@
+(* Differential tests for the cost-based twig planner: planned
+   evaluation (auto or any forced seed) must be result-identical to the
+   naive left-to-right order — across engines LD/LS, 1 and 4 domains,
+   random documents, random twigs (with and without predicates),
+   synopsis staleness from removes and packs, and frozen snapshots.
+   Plus sanity checks on plan selection and the explain rendering. *)
+
+open Lazy_xml
+open Lxu_workload
+
+let pair_list = Alcotest.(list (pair int int))
+let check_bool = Alcotest.(check bool)
+
+let step axis tag predicates = { Path_query.axis; tag; predicates }
+
+(* Random linear path with occasional one-step predicates, over a tag
+   pool that mostly exists in the document (one sometimes-absent tag
+   exercises empty sets). *)
+let random_twig st pool =
+  let pick () = pool.(Random.State.int st (Array.length pool)) in
+  let axis () = if Random.State.bool st then Path_query.Desc else Path_query.Child in
+  let len = 2 + Random.State.int st 3 in
+  List.init len (fun _ ->
+      let predicates =
+        if Random.State.int st 100 < 25 then [ [ step (axis ()) (pick ()) [] ] ] else []
+      in
+      step (axis ()) (pick ()) predicates)
+
+let build_db ~engine ~domains ~seed =
+  let db = Lazy_db.create ~engine ~domains () in
+  let edits =
+    if seed mod 2 = 0 then
+      let text = Xmark.generate_text ~persons:(10 + (seed mod 15)) ~seed () in
+      Chopper.chop ~text ~segments:(6 + (seed mod 14))
+        (if seed mod 4 = 0 then Chopper.Nested else Chopper.Balanced)
+    else
+      let params =
+        { Generator.default_params with tags = [| "a"; "b"; "c"; "d" |]; text_chance_pct = 10 }
+      in
+      let text = Generator.generate_text ~params ~seed ~target_elements:(50 + (seed mod 80)) () in
+      Chopper.chop ~text ~segments:(5 + (seed mod 10))
+        (if seed mod 3 = 0 then Chopper.Nested else Chopper.Balanced)
+  in
+  List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) edits;
+  db
+
+let pool_for ~seed =
+  if seed mod 2 = 0 then [| "person"; "profile"; "interest"; "watches"; "watch"; "zzz" |]
+  else [| "a"; "b"; "c"; "d"; "zzz" |]
+
+let mutate st db =
+  (* A couple of whole-element removes, sometimes a pack: the planner
+     must stay exact on the post-edit synopsis. *)
+  for _ = 1 to 2 do
+    let nodes = Lxu_xml.Parser.parse_fragment (Lazy_db.text db) in
+    let extents = ref [] in
+    Lxu_xml.Tree.iter_elements nodes (fun e ~level:_ ->
+        if e.Lxu_xml.Tree.e_start >= 0 then
+          extents := (e.Lxu_xml.Tree.e_start, e.Lxu_xml.Tree.e_end) :: !extents);
+    match !extents with
+    | [] -> ()
+    | l ->
+      let arr = Array.of_list l in
+      let s, e_ = arr.(Random.State.int st (Array.length arr)) in
+      Lazy_db.remove db ~gp:s ~len:(e_ - s)
+  done;
+  if Random.State.bool st && Lazy_db.doc_length db > 0 then
+    Lazy_db.pack_subtree db ~gp:0 ~len:(Lazy_db.doc_length db)
+
+let check_planned_equals_naive ~ctx db twig =
+  let naive = Path_query.eval ~plan:`Naive db twig in
+  let auto = Path_query.eval ~plan:`Auto db twig in
+  Alcotest.check pair_list (ctx ^ " auto = naive") naive auto;
+  let n = List.length twig in
+  for k = 0 to n - 1 do
+    let forced = Path_query.eval ~plan:(`Seed k) db twig in
+    Alcotest.check pair_list (Printf.sprintf "%s seed %d = naive" ctx k) naive forced
+  done
+
+let prop_planned_equals_naive =
+  QCheck2.Test.make ~name:"planned = naive (random docs, random twigs)" ~count:40
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let engine = if seed mod 4 < 2 then Lazy_db.LD else Lazy_db.LS in
+      let domains = if seed mod 8 < 4 then 1 else 4 in
+      let db = build_db ~engine ~domains ~seed in
+      let pool = pool_for ~seed in
+      let ctx = Printf.sprintf "seed=%d" seed in
+      for _ = 1 to 3 do
+        check_planned_equals_naive ~ctx db (random_twig st pool)
+      done;
+      mutate st db;
+      for _ = 1 to 3 do
+        check_planned_equals_naive ~ctx:(ctx ^ " post-edit") db (random_twig st pool)
+      done;
+      (* Frozen snapshot: planned queries over the clone, while the
+         live database keeps moving underneath it. *)
+      Lazy_db.with_snapshot db (fun snap ->
+          Lazy_db.insert db ~gp:(Lazy_db.doc_length db) "<a><d/></a>";
+          for _ = 1 to 2 do
+            check_planned_equals_naive ~ctx:(ctx ^ " snapshot") snap (random_twig st pool)
+          done);
+      true)
+
+(* --- deterministic corners -------------------------------------------- *)
+
+let test_std_fallback () =
+  let db = Lazy_db.create ~engine:Lazy_db.STD () in
+  Lazy_db.insert db ~gp:0 "<r><a><b/></a><a><b/><b/></a></r>";
+  let twig = [ step Path_query.Desc "a" []; step Path_query.Desc "b" [] ] in
+  Alcotest.check pair_list "plan ignored on STD"
+    (Path_query.eval ~plan:`Naive db twig)
+    (Path_query.eval ~plan:`Auto db twig)
+
+let test_env_escape_hatch () =
+  (* LXU_PLAN=naive forces the left-to-right order; the explain string
+     says so.  (Set/unset around the calls — the suite is single
+     threaded.) *)
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter
+    (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+    (Chopper.chop ~text:(Xmark.generate_text ~persons:8 ~seed:3 ()) ~segments:6 Chopper.Balanced)
+  ;
+  let twig = Path_query.parse_exn "//person//interest" in
+  let naive = Path_query.eval ~plan:`Naive db twig in
+  Unix.putenv "LXU_PLAN" "naive";
+  let forced = Path_query.eval ~plan:`Auto db twig in
+  let explained, matches = Path_query.explain db twig in
+  Unix.putenv "LXU_PLAN" "";
+  Alcotest.check pair_list "escape hatch = naive" naive forced;
+  Alcotest.check pair_list "explain matches under escape hatch" naive matches;
+  check_bool "explain mentions the escape hatch" true
+    (String.length explained >= 5 && String.sub explained 0 5 = "plan:")
+
+let test_choose_sanity () =
+  (* Many <a><b/></a> groups and a single rare <q><a><b><z/></b></a></q>:
+     for //a//b//z the cheapest anchor is the rare tail, and the
+     planner must see a tiny estimate for it. *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<r>";
+  for _ = 1 to 200 do
+    Buffer.add_string buf "<a><b/><b/></a>"
+  done;
+  Buffer.add_string buf "<q><a><b><z/></b></a></q></r>";
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter
+    (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+    (Chopper.chop ~text:(Buffer.contents buf) ~segments:16 Chopper.Balanced);
+  let log = Option.get (Lazy_db.log db) in
+  let chain =
+    {
+      Lxu_plan.Plan.tags = [| "a"; "b"; "z" |];
+      axes = [| Lxu_plan.Plan.Desc; Lxu_plan.Plan.Desc; Lxu_plan.Plan.Desc |];
+      has_preds = false;
+    }
+  in
+  (match Lxu_plan.Plan.choose ~log chain with
+  | Lxu_plan.Plan.Ordered o ->
+    Alcotest.(check int) "anchors at the rare tail" 2 o.Lxu_plan.Plan.seed;
+    Alcotest.(check int) "exact tail estimate" 1 o.Lxu_plan.Plan.est_step.(2);
+    check_bool "estimated cheaper than naive" true
+      (o.Lxu_plan.Plan.est_cost < o.Lxu_plan.Plan.naive_cost)
+  | Lxu_plan.Plan.Naive -> Alcotest.fail "expected an ordered plan, got naive"
+  | Lxu_plan.Plan.Holistic _ -> Alcotest.fail "expected an ordered plan, got holistic");
+  (* The executed explain agrees with eval and renders actuals. *)
+  let twig = Path_query.parse_exn "//a//b//z" in
+  let explained, matches = Path_query.explain db twig in
+  Alcotest.check pair_list "explain results = eval" (Path_query.eval db twig) matches;
+  check_bool "explain shows the seed" true
+    (let needle = "seed step 2" in
+     let n = String.length needle and h = String.length explained in
+     let rec find i = i + n <= h && (String.sub explained i n = needle || find (i + 1)) in
+     find 0)
+
+let test_provably_empty () =
+  (* z never appears under c: the synopsis proves the result empty and
+     the executor returns without running a join. *)
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter
+    (fun (gp, frag) -> Lazy_db.insert db ~gp frag)
+    (Chopper.chop ~text:"<r><c><d/><d/></c><a><z/></a><c><d/></c></r>" ~segments:3
+       Chopper.Balanced);
+  let twig = Path_query.parse_exn "//c//z" in
+  Alcotest.check pair_list "provably empty" [] (Path_query.eval ~plan:`Auto db twig);
+  Alcotest.check pair_list "naive agrees" [] (Path_query.eval ~plan:`Naive db twig)
+
+let suite =
+  [
+    Alcotest.test_case "STD ignores plan" `Quick test_std_fallback;
+    Alcotest.test_case "LXU_PLAN=naive escape hatch" `Quick test_env_escape_hatch;
+    Alcotest.test_case "choose anchors at the rare tail" `Quick test_choose_sanity;
+    Alcotest.test_case "synopsis-proven empty result" `Quick test_provably_empty;
+    QCheck_alcotest.to_alcotest prop_planned_equals_naive;
+  ]

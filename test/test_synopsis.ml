@@ -1,0 +1,202 @@
+(* Tests for the path-summary synopsis: incremental maintenance under
+   inserts, batches, removes and packs must agree with a from-scratch
+   rebuild; frozen clones are isolated from later writes; save/load
+   reconstructs; cardinalities and the Proposition-3 ancestor evidence
+   are consistent with the document. *)
+
+open Lazy_xml
+open Lxu_seglog
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let agrees ctx log =
+  check_bool ctx true
+    (Path_synopsis.equal (Update_log.synopsis log) (Update_log.synopsis_rebuilt log))
+
+let log_of db = Option.get (Lazy_db.log db)
+
+let xmark_edits ?(persons = 25) ?(segments = 40) ?(seed = 11) shape =
+  let text = Lxu_workload.Xmark.generate_text ~persons ~seed () in
+  Lxu_workload.Chopper.chop ~text ~segments shape
+
+(* --- incremental = rebuilt ------------------------------------------- *)
+
+let test_inserts () =
+  List.iter
+    (fun engine ->
+      List.iter
+        (fun shape ->
+          let db = Lazy_db.create ~engine () in
+          List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) (xmark_edits shape);
+          let log = log_of db in
+          agrees "after inserts" log;
+          let syn = Update_log.synopsis log in
+          check_int "element totals" (Lazy_db.element_count db) (Path_synopsis.elements syn);
+          check_bool "has paths" true (Path_synopsis.distinct_paths syn > 0))
+        [ Lxu_workload.Chopper.Balanced; Lxu_workload.Chopper.Nested ])
+    [ Lazy_db.LD; Lazy_db.LS ]
+
+let test_batches () =
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  Lazy_db.insert_many db (xmark_edits Lxu_workload.Chopper.Balanced);
+  agrees "after insert_many" (log_of db)
+
+let test_removes () =
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) (xmark_edits Lxu_workload.Chopper.Balanced);
+  let st = Random.State.make [| 42 |] in
+  for _ = 1 to 12 do
+    let text = Lazy_db.text db in
+    let nodes = Lxu_xml.Parser.parse_fragment text in
+    let extents = ref [] in
+    Lxu_xml.Tree.iter_elements nodes (fun e ~level:_ ->
+        if e.Lxu_xml.Tree.e_start >= 0 then
+          extents := (e.Lxu_xml.Tree.e_start, e.Lxu_xml.Tree.e_end) :: !extents);
+    match !extents with
+    | [] -> ()
+    | l ->
+      let arr = Array.of_list l in
+      let s, e_ = arr.(Random.State.int st (Array.length arr)) in
+      Lazy_db.remove db ~gp:s ~len:(e_ - s);
+      agrees "after each remove" (log_of db)
+  done;
+  Lazy_db.check db
+
+let test_pack () =
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) (xmark_edits Lxu_workload.Chopper.Nested);
+  Lazy_db.pack_subtree db ~gp:0 ~len:(Lazy_db.doc_length db);
+  agrees "after whole-document pack" (log_of db);
+  Lazy_db.check db
+
+(* --- frozen snapshots are isolated ----------------------------------- *)
+
+let test_snapshot_isolation () =
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) (xmark_edits Lxu_workload.Chopper.Balanced);
+  Lazy_db.with_snapshot db (fun snap ->
+      let before = Path_synopsis.distinct_paths (Update_log.synopsis (log_of snap)) in
+      (* Mutate the live database; the snapshot's synopsis must not move. *)
+      Lazy_db.insert db ~gp:(Lazy_db.doc_length db) "<zzz><yyy/></zzz>";
+      Lazy_db.remove db ~gp:(Lazy_db.doc_length db - 17) ~len:17;
+      agrees "live log after writes" (log_of db);
+      agrees "snapshot after live writes" (log_of snap);
+      check_int "snapshot path count unchanged" before
+        (Path_synopsis.distinct_paths (Update_log.synopsis (log_of snap))))
+
+(* --- save / load ------------------------------------------------------ *)
+
+let test_save_load () =
+  let dir = Filename.temp_file "lxu_syn" "" in
+  Sys.remove dir;
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) (xmark_edits Lxu_workload.Chopper.Balanced);
+  Lazy_db.save db dir;
+  let db2 = Lazy_db.load dir in
+  agrees "after load" (log_of db2);
+  check_bool "same synopsis as the saved db" true
+    (Path_synopsis.equal (Update_log.synopsis (log_of db)) (Update_log.synopsis (log_of db2)))
+
+(* --- cardinalities and Proposition-3 evidence ------------------------- *)
+
+let test_tag_total () =
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) (xmark_edits Lxu_workload.Chopper.Balanced);
+  let log = log_of db in
+  let syn = Update_log.synopsis log in
+  let reg = Update_log.registry log in
+  List.iter
+    (fun tag ->
+      let expected = List.length (Path_query.eval_string db ("//" ^ tag)) in
+      let got =
+        match Tag_registry.find reg tag with
+        | Some tid -> Path_synopsis.tag_total syn ~tid
+        | None -> 0
+      in
+      check_int ("tag_total " ^ tag) expected got)
+    [ "person"; "profile"; "interest"; "watch"; "nosuchtag" ]
+
+let test_may_have_ancestor () =
+  let db = Lazy_db.create ~engine:Lazy_db.LD () in
+  (* Two sibling subtrees in their own segments under a shared root:
+     <r><a><b/></a><c><d/></c></r>.  The segment holding d has c and r
+     above it but never a. *)
+  Lazy_db.insert db ~gp:0 "<r></r>";
+  Lazy_db.insert db ~gp:3 "<a><b/></a>";
+  Lazy_db.insert db ~gp:14 "<c><d/></c>";
+  let log = log_of db in
+  let syn = Update_log.synopsis log in
+  let reg = Update_log.registry log in
+  let tid tag = Option.get (Tag_registry.find reg tag) in
+  let sid_of tag =
+    (Tag_list.entries (Update_log.tag_list log) ~tid:(tid tag)).(0).Tag_list.sid
+  in
+  let d_sid = sid_of "d" in
+  check_bool "d segment may have c ancestor" true
+    (Path_synopsis.may_have_ancestor syn ~sid:d_sid ~tid:(tid "c"));
+  check_bool "d segment may have r ancestor" true
+    (Path_synopsis.may_have_ancestor syn ~sid:d_sid ~tid:(tid "r"));
+  check_bool "d segment provably has no a ancestor" false
+    (Path_synopsis.may_have_ancestor syn ~sid:d_sid ~tid:(tid "a"));
+  (* Unknown segments must stay conservative. *)
+  check_bool "unknown sid is conservative" true
+    (Path_synopsis.may_have_ancestor syn ~sid:99999 ~tid:(tid "a"));
+  agrees "small doc" log
+
+(* --- qcheck: random edit scripts -------------------------------------- *)
+
+let prop_random_scripts =
+  QCheck2.Test.make ~name:"synopsis incremental = rebuilt (random scripts)" ~count:30
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let st = Random.State.make [| seed |] in
+      let engine = if seed mod 2 = 0 then Lazy_db.LD else Lazy_db.LS in
+      let db = Lazy_db.create ~engine () in
+      let text =
+        Lxu_workload.Generator.generate_text ~seed
+          ~target_elements:(40 + (seed mod 60))
+          ()
+      in
+      let shape =
+        if seed mod 3 = 0 then Lxu_workload.Chopper.Nested else Lxu_workload.Chopper.Balanced
+      in
+      let edits = Lxu_workload.Chopper.chop ~text ~segments:(4 + (seed mod 10)) shape in
+      List.iter (fun (gp, frag) -> Lazy_db.insert db ~gp frag) edits;
+      (* A few random whole-element removes, then a pack. *)
+      for _ = 1 to 3 do
+        let nodes = Lxu_xml.Parser.parse_fragment (Lazy_db.text db) in
+        let extents = ref [] in
+        Lxu_xml.Tree.iter_elements nodes (fun e ~level:_ ->
+            if e.Lxu_xml.Tree.e_start >= 0 then
+              extents := (e.Lxu_xml.Tree.e_start, e.Lxu_xml.Tree.e_end) :: !extents);
+        match !extents with
+        | [] -> ()
+        | l ->
+          let arr = Array.of_list l in
+          let s, e_ = arr.(Random.State.int st (Array.length arr)) in
+          Lazy_db.remove db ~gp:s ~len:(e_ - s)
+      done;
+      let log = log_of db in
+      let ok1 =
+        Path_synopsis.equal (Update_log.synopsis log) (Update_log.synopsis_rebuilt log)
+      in
+      if Lazy_db.doc_length db > 0 then
+        Lazy_db.pack_subtree db ~gp:0 ~len:(Lazy_db.doc_length db);
+      let ok2 =
+        Path_synopsis.equal (Update_log.synopsis log) (Update_log.synopsis_rebuilt log)
+      in
+      ok1 && ok2)
+
+let suite =
+  [
+    Alcotest.test_case "incremental = rebuilt after inserts" `Quick test_inserts;
+    Alcotest.test_case "incremental = rebuilt after insert_many" `Quick test_batches;
+    Alcotest.test_case "incremental = rebuilt across removes" `Quick test_removes;
+    Alcotest.test_case "incremental = rebuilt after pack" `Quick test_pack;
+    Alcotest.test_case "frozen snapshots are isolated" `Quick test_snapshot_isolation;
+    Alcotest.test_case "save/load reconstructs" `Quick test_save_load;
+    Alcotest.test_case "tag_total matches query counts" `Quick test_tag_total;
+    Alcotest.test_case "Proposition-3 ancestor evidence" `Quick test_may_have_ancestor;
+    QCheck_alcotest.to_alcotest prop_random_scripts;
+  ]

@@ -73,6 +73,37 @@ let test_remove_segment () =
   check_int "tid1 empty" 0 (Array.length (Tag_list.entries t ~tid:1));
   Alcotest.(check (list int)) "tid2 keeps sid2" [ 2 ] (sids t 2)
 
+(* O(1) cardinalities must agree with summing the entries — across
+   sorted adds, appends (including while dirty, when [entries] itself
+   refuses to answer), decrements and segment removals. *)
+let test_cardinalities () =
+  let t = Tag_list.create () in
+  check_int "empty tag segments" 0 (Tag_list.tag_segments t ~tid:1);
+  check_int "empty tag elements" 0 (Tag_list.tag_elements t ~tid:1);
+  check_int "empty max" 0 (Tag_list.max_segments t);
+  Tag_list.add_sorted t ~tid:1 (entry 1 [ 0; 1 ] 3) ~gp_of;
+  Tag_list.add_sorted t ~tid:1 (entry 2 [ 0; 2 ] 2) ~gp_of;
+  Tag_list.add_sorted t ~tid:2 (entry 1 [ 0; 1 ] 5) ~gp_of;
+  check_int "segments" 2 (Tag_list.tag_segments t ~tid:1);
+  check_int "elements" 5 (Tag_list.tag_elements t ~tid:1);
+  check_int "max over tags" 2 (Tag_list.max_segments t);
+  (* Pending appends count while the list is dirty. *)
+  Tag_list.append t ~tid:1 (entry 3 [ 0; 3 ] 4);
+  check_bool "dirty" true (Tag_list.is_dirty t);
+  check_int "segments incl. pending" 3 (Tag_list.tag_segments t ~tid:1);
+  check_int "elements incl. pending" 9 (Tag_list.tag_elements t ~tid:1);
+  Tag_list.sort_all t ~gp_of;
+  check_int "segments after sort" 3 (Tag_list.tag_segments t ~tid:1);
+  check_int "elements after sort" 9 (Tag_list.tag_elements t ~tid:1);
+  Tag_list.decrement t ~tid:1 ~sid:2 ~by:2;
+  check_int "decrement drops the entry" 2 (Tag_list.tag_segments t ~tid:1);
+  check_int "elements after decrement" 7 (Tag_list.tag_elements t ~tid:1);
+  Tag_list.remove_segment t ~sid:1;
+  check_int "segments after removal" 1 (Tag_list.tag_segments t ~tid:1);
+  check_int "elements after removal" 4 (Tag_list.tag_elements t ~tid:1);
+  check_int "tid2 emptied" 0 (Tag_list.tag_elements t ~tid:2);
+  check_int "max after removal" 1 (Tag_list.max_segments t)
+
 let test_tids_and_sizes () =
   let t = Tag_list.create () in
   Tag_list.add_sorted t ~tid:5 (entry 1 [ 0; 1 ] 1) ~gp_of;
@@ -142,6 +173,7 @@ let suite =
     Alcotest.test_case "mark_dirty" `Quick test_mark_dirty;
     Alcotest.test_case "decrement" `Quick test_decrement;
     Alcotest.test_case "remove_segment" `Quick test_remove_segment;
+    Alcotest.test_case "O(1) cardinalities" `Quick test_cardinalities;
     Alcotest.test_case "tids and sizes" `Quick test_tids_and_sizes;
     Alcotest.test_case "merge sort path = full re-sort" `Quick test_merge_matches_resort;
   ]
