@@ -1,0 +1,168 @@
+(* Paged-storage benchmark: the fig_parallel XMark workload ingested
+   and queried twice — once on the default in-memory indexes, once on
+   the shadow-paged backend with a buffer pool deliberately smaller
+   than half the document — and compared head to head.
+
+   Three verdicts land in BENCH_paged.json (or the --json path):
+
+   - [mem_pairs_per_sec]: single-domain join throughput of the
+     in-memory path, measured exactly as fig_parallel's domains=1 row
+     (same workload, same queries).  The gate holds it within 0.95x
+     of the committed BENCH_join.json so the storage-backend
+     indirection stays free for RAM-resident stores.
+   - [warm_ratio]: paged/mem query throughput once the pool is warm
+     (every query has run once).  Floor 0.5x — the beyond-RAM path
+     may pay for page pins and the odd refill, but not multiples.
+   - [hit_rate] + [beyond_ram]: pool hits/lookups over the whole run
+     and proof the document really exceeded 2x the pool budget, so
+     the warm numbers cannot come from an accidentally RAM-sized
+     pool.
+
+   All five query extents are also checked pairwise identical between
+   the two backends ([results_ok]) — a throughput win that changes
+   answers is a bug, not a result.  See EXPERIMENTS.md for the
+   schema; scripts/bench_gate.sh enforces the floors. *)
+
+open Lxu_workload
+open Lxu_seglog
+
+(* Half the (unscaled) 1.4 MB document, with margin: beyond-RAM by
+   construction, yet big enough that the per-query working set can
+   stay resident once warm. *)
+let pool_budget = 512 * 1024
+
+let ingest ?backend edits =
+  let log = Update_log.create ~mode:Update_log.Lazy_dynamic ?backend () in
+  let (), ms =
+    Bench_util.time_ms (fun () ->
+        List.iter (fun (gp, frag) -> ignore (Update_log.insert log ~gp frag)) edits)
+  in
+  Update_log.prepare_for_query log;
+  (log, ms)
+
+(* Median single-domain wall-clock per query, after one untimed
+   warm-up pass (fills the buffer pool / branch caches). *)
+let query_pass log =
+  List.map
+    (fun (name, anc, desc) ->
+      ignore (Lxu_join.Lazy_join.run log ~anc ~desc ());
+      (name, Bench_util.measure (fun () ->
+           ignore (Lxu_join.Lazy_join.run log ~anc ~desc ()))))
+    Xmark.queries
+
+let run () =
+  Bench_util.header
+    (Printf.sprintf "Paged storage: beyond-RAM XMark workload, %d KiB pool vs in-memory"
+       (pool_budget / 1024));
+  let text, edits = Fig_parallel.workload () in
+  let mem_log, mem_ingest_ms = ingest edits in
+  let device = Lxu_storage.Sim_file.in_memory () in
+  let pstore = Lxu_storage.Page_store.create ~device ~pool_bytes:pool_budget () in
+  let backend = Lxu_btree.Storage_backend.Paged { store = pstore; attach = false } in
+  let paged_log, paged_ingest_ms = ingest ~backend edits in
+  let segments = Update_log.segment_count mem_log in
+  let elements = Update_log.element_count mem_log in
+  let doc_bytes = String.length text in
+  Printf.printf "document: %d bytes, %d segments, %d elements; pool budget %d bytes\n\n"
+    doc_bytes segments elements pool_budget;
+  (* Same extents on both backends, or the comparison is void. *)
+  let results_ok =
+    List.for_all
+      (fun (_, anc, desc) ->
+        let m, _ = Lxu_join.Lazy_join.run mem_log ~anc ~desc () in
+        let p, _ = Lxu_join.Lazy_join.run paged_log ~anc ~desc () in
+        m = p)
+      Xmark.queries
+  in
+  let total_pairs =
+    List.fold_left
+      (fun acc (_, anc, desc) ->
+        let pairs, _ = Lxu_join.Lazy_join.run mem_log ~anc ~desc () in
+        acc + Array.length pairs)
+      0 Xmark.queries
+  in
+  let mem_queries = query_pass mem_log in
+  let paged_queries = query_pass paged_log in
+  let total ms_list = List.fold_left (fun acc (_, ms) -> acc +. ms) 0.0 ms_list in
+  let mem_ms = total mem_queries and paged_ms = total paged_queries in
+  let pps ms = if ms > 0.0 then float_of_int total_pairs /. (ms /. 1000.0) else 0.0 in
+  let mem_pps = pps mem_ms and paged_pps = pps paged_ms in
+  let warm_ratio = if mem_pps > 0.0 then paged_pps /. mem_pps else 0.0 in
+  let stats = Lxu_storage.Page_store.stats pstore in
+  let pool = stats.Lxu_storage.Page_store.pool in
+  let hit_rate =
+    let open Lxu_storage.Buffer_pool in
+    if pool.lookups > 0 then float_of_int pool.hits /. float_of_int pool.lookups
+    else 0.0
+  in
+  let beyond_ram = doc_bytes > 2 * pool.Lxu_storage.Buffer_pool.max_bytes in
+  Bench_util.columns [ 16; 14; 14; 14 ] [ "query"; "mem ms"; "paged ms"; "ratio" ];
+  List.iter2
+    (fun (name, m) (_, p) ->
+      Bench_util.columns [ 16; 14; 14; 14 ]
+        [
+          name;
+          Bench_util.fmt_ms m;
+          Bench_util.fmt_ms p;
+          Printf.sprintf "%.2fx" (if m > 0.0 then p /. m else 0.0);
+        ])
+    mem_queries paged_queries;
+  Printf.printf
+    "\ningest: mem %.1f ms, paged %.1f ms; warm query throughput: mem %.0f pairs/s, \
+     paged %.0f pairs/s (ratio %.2fx)\n"
+    mem_ingest_ms paged_ingest_ms mem_pps paged_pps warm_ratio;
+  Printf.printf
+    "pool: %d/%d bytes, %d pages, hit rate %.3f (%d lookups, %d evictions, %d writebacks); \
+     beyond-RAM: %b; extents identical: %b\n"
+    pool.Lxu_storage.Buffer_pool.bytes pool.Lxu_storage.Buffer_pool.max_bytes
+    stats.Lxu_storage.Page_store.pages hit_rate pool.Lxu_storage.Buffer_pool.lookups
+    pool.Lxu_storage.Buffer_pool.evictions pool.Lxu_storage.Buffer_pool.writebacks
+    beyond_ram results_ok;
+  let open Bench_util in
+  let json =
+    J_obj
+      [
+        ("bench", J_str "fig_paged");
+        ("schema_version", J_int 1);
+        ( "workload",
+          J_obj
+            [
+              ("generator", J_str "xmark+chopper (fig_parallel workload)");
+              ("doc_bytes", J_int doc_bytes);
+              ("segments", J_int segments);
+              ("elements", J_int elements);
+              ("total_pairs", J_int total_pairs);
+            ] );
+        ("pool_bytes", J_int pool_budget);
+        ("beyond_ram", J_bool beyond_ram);
+        ("results_ok", J_bool results_ok);
+        ("mem_ingest_ms", J_float mem_ingest_ms);
+        ("paged_ingest_ms", J_float paged_ingest_ms);
+        ("mem_pairs_per_sec", J_float mem_pps);
+        ("paged_pairs_per_sec", J_float paged_pps);
+        ("warm_ratio", J_float warm_ratio);
+        ("hit_rate", J_float hit_rate);
+        ( "pool",
+          J_obj
+            [
+              ("lookups", J_int pool.Lxu_storage.Buffer_pool.lookups);
+              ("hits", J_int pool.Lxu_storage.Buffer_pool.hits);
+              ("evictions", J_int pool.Lxu_storage.Buffer_pool.evictions);
+              ("writebacks", J_int pool.Lxu_storage.Buffer_pool.writebacks);
+              ("pages", J_int stats.Lxu_storage.Page_store.pages);
+              ("page_size", J_int stats.Lxu_storage.Page_store.page_size);
+            ] );
+        ( "queries",
+          J_list
+            (List.map2
+               (fun (name, m) (_, p) ->
+                 J_obj
+                   [
+                     ("name", J_str name);
+                     ("mem_ms", J_float m);
+                     ("paged_ms", J_float p);
+                   ])
+               mem_queries paged_queries) );
+      ]
+  in
+  write_json (json_out ~default:"BENCH_paged.json") json

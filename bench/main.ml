@@ -9,8 +9,8 @@
 
    Available targets: fig11a fig11b fig12 fig13 fig14 fig15 fig16
    fig17a fig17b fig17c joins cache labels boxes micro parallel
-   recovery overload update mvcc maint plan.  (fig14 and fig15 share
-   one workload and always run together.)
+   recovery overload update mvcc maint plan paged.  (fig14 and fig15
+   share one workload and always run together.)
 
    Set LAZYXML_BENCH_SCALE=k to multiply the key dataset sizes of
    figs 12-16 by k (paper-scale runs take minutes).
@@ -19,8 +19,8 @@
    that emit one ([parallel] -> BENCH_join.json, [cache] ->
    BENCH_cache.json, [update] -> BENCH_update.json, [mvcc] ->
    BENCH_mvcc.json, [maint] -> BENCH_maint.json, [plan] ->
-   BENCH_plan.json) to <path>; the flag is shared wiring for the
-   whole perf trajectory. *)
+   BENCH_plan.json, [paged] -> BENCH_paged.json) to <path>; the flag
+   is shared wiring for the whole perf trajectory. *)
 
 (* (target, runner-id, runner): fig14 and fig15 share one runner. *)
 let targets : (string * string * (unit -> unit)) list =
@@ -47,6 +47,7 @@ let targets : (string * string * (unit -> unit)) list =
     ("mvcc", "mvcc", Fig_mvcc.run);
     ("maint", "maint", Fig_maint.run);
     ("plan", "plan", Fig_plan.run);
+    ("paged", "paged", Fig_paged.run);
   ]
 
 (* Strips [--json <path>] (shared by all JSON-emitting figures) from

@@ -65,6 +65,18 @@ let shape_arg =
   Arg.(value & opt string "balanced" & info [ "shape" ] ~docv:"SHAPE"
          ~doc:"Chopping shape: balanced or nested.")
 
+let storage_arg =
+  Arg.(value & opt (some string) None & info [ "storage" ] ~docv:"KIND"
+         ~doc:"Index storage backend: mem (OCaml heap) or paged (page-backed B+-trees, \
+               buffer pool bounded by LXU_POOL_BYTES).  Defaults to the LXU_STORAGE \
+               environment variable, or mem.")
+
+let storage_of_string = function
+  | None -> None
+  | Some "mem" -> Some `Mem
+  | Some "paged" -> Some `Paged
+  | Some s -> failwith (Printf.sprintf "unknown storage %S (expected mem or paged)" s)
+
 let deadline_arg =
   Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS"
          ~doc:"Abandon the evaluation after $(docv) milliseconds; exits with \
@@ -379,12 +391,15 @@ let checkpoint_cmd =
   let from = Arg.(value & opt (some file) None & info [ "from" ] ~docv:"DOC"
                     ~doc:"Initialise $(i,DIR) fresh from this XML document before checkpointing \
                           (otherwise $(i,DIR) is recovered first).") in
-  let run dir engine segments shape from =
+  let run dir engine segments shape from storage =
+    let storage = storage_of_string storage in
     let db =
       match from with
       | Some doc ->
         let text = read_file doc in
-        let db = Lazy_db.create ~engine:(engine_of_string engine) ~durability:(`Wal dir) () in
+        let db =
+          Lazy_db.create ~engine:(engine_of_string engine) ~durability:(`Wal dir) ?storage ()
+        in
         if segments <= 1 then Lazy_db.insert db ~gp:0 text
         else
           List.iter
@@ -392,7 +407,7 @@ let checkpoint_cmd =
             (Lxu_workload.Chopper.chop ~text ~segments (shape_of_string shape));
         db
       | None ->
-        let db, report = Lazy_db.recover dir in
+        let db, report = Lazy_db.recover ?storage dir in
         print_report dir report;
         db
     in
@@ -404,15 +419,15 @@ let checkpoint_cmd =
   Cmd.v
     (Cmd.info "checkpoint"
        ~doc:"Snapshot a WAL directory's database and rotate its log to empty.")
-    Term.(const run $ dir $ engine_arg $ segments_arg $ shape_arg $ from)
+    Term.(const run $ dir $ engine_arg $ segments_arg $ shape_arg $ from $ storage_arg)
 
 let recover_cmd =
   let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
                    ~doc:"WAL durability directory.") in
   let out = Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"FILE"
                    ~doc:"Also write the recovered document text to $(docv).") in
-  let run dir out =
-    let db, report = Lazy_db.recover dir in
+  let run dir out storage =
+    let db, report = Lazy_db.recover ?storage:(storage_of_string storage) dir in
     print_report dir report;
     Printf.printf "state: %d segment(s), %d element(s), %d byte(s) of document\n"
       (Lazy_db.segment_count db) (Lazy_db.element_count db) (Lazy_db.doc_length db);
@@ -426,7 +441,83 @@ let recover_cmd =
   Cmd.v
     (Cmd.info "recover"
        ~doc:"Recover a database from snapshot + WAL, repairing a torn or corrupt tail.")
-    Term.(const run $ dir $ out)
+    Term.(const run $ dir $ out $ storage_arg)
+
+(* --- info ------------------------------------------------------------------ *)
+
+let info_cmd =
+  let dir = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR"
+                   ~doc:"WAL durability directory.") in
+  let paths = Arg.(value & opt int 0 & info [ "paths" ] ~docv:"N"
+                     ~doc:"Also list the $(docv) heaviest root-to-element paths of the \
+                           synopsis.") in
+  let run dir storage paths =
+    let db, report = Lazy_db.recover ?storage:(storage_of_string storage) dir in
+    print_report dir report;
+    Printf.printf "document bytes  : %d\n" (Lazy_db.doc_length db);
+    Printf.printf "elements        : %d\n" (Lazy_db.element_count db);
+    Printf.printf "segments        : %d\n" (Lazy_db.segment_count db);
+    Printf.printf "index bytes     : %d\n" (Lazy_db.size_bytes db);
+    (match Lazy_db.wal_bytes db with
+    | Some b -> Printf.printf "wal bytes       : %d\n" b
+    | None -> ());
+    Printf.printf "storage         : %s\n"
+      (match Lazy_db.storage_kind db with `Mem -> "mem" | `Paged -> "paged");
+    (match Lazy_db.page_stats db with
+    | None -> ()
+    | Some s ->
+      let p = s.Lxu_storage.Page_store.pool in
+      Printf.printf "page store      : %d pages x %d bytes (gen %d, checkpoint lsn %d)\n"
+        s.Lxu_storage.Page_store.pages s.Lxu_storage.Page_store.page_size
+        s.Lxu_storage.Page_store.generation s.Lxu_storage.Page_store.ckpt_lsn;
+      Printf.printf "  free lists    : %d reusable, %d pending, %d fresh this epoch\n"
+        s.Lxu_storage.Page_store.reusable_pages s.Lxu_storage.Page_store.pending_pages
+        s.Lxu_storage.Page_store.fresh_pages;
+      Printf.printf "  page traffic  : %d alloc(s), %d free(s), %d cow(s)\n"
+        s.Lxu_storage.Page_store.allocs s.Lxu_storage.Page_store.frees
+        s.Lxu_storage.Page_store.cows;
+      Printf.printf "  buffer pool   : %d/%d bytes, %d frame(s) (%d dirty, %d pinned)\n"
+        p.Lxu_storage.Buffer_pool.bytes p.Lxu_storage.Buffer_pool.max_bytes
+        p.Lxu_storage.Buffer_pool.frames p.Lxu_storage.Buffer_pool.dirty_frames
+        p.Lxu_storage.Buffer_pool.pinned_frames;
+      Printf.printf "  pool traffic  : %d lookup(s), %d hit(s), %d miss(es), %d eviction(s), \
+                     %d writeback(s)\n"
+        p.Lxu_storage.Buffer_pool.lookups p.Lxu_storage.Buffer_pool.hits
+        p.Lxu_storage.Buffer_pool.misses p.Lxu_storage.Buffer_pool.evictions
+        p.Lxu_storage.Buffer_pool.writebacks);
+    (match Lazy_db.log db with
+    | None -> ()
+    | Some log ->
+      let f = Lxu_seglog.Update_log.frag_stats log in
+      Printf.printf "fragmentation   : %d live / %d dead segment(s), er depth %d, %d dirty \
+                     tag(s), widest tag %d segment(s)\n"
+        f.Lxu_seglog.Update_log.live_segments f.Lxu_seglog.Update_log.dead_segments
+        f.Lxu_seglog.Update_log.er_depth f.Lxu_seglog.Update_log.dirty_tags
+        f.Lxu_seglog.Update_log.max_tag_segments;
+      let syn = Lxu_seglog.Update_log.synopsis log in
+      Printf.printf "synopsis        : %d distinct path(s), %d element(s), %d bytes\n"
+        (Lxu_seglog.Path_synopsis.distinct_paths syn)
+        (Lxu_seglog.Path_synopsis.elements syn)
+        (Lxu_seglog.Path_synopsis.size_bytes syn);
+      if paths > 0 then begin
+        let reg = Lxu_seglog.Update_log.registry log in
+        let all = Lxu_seglog.Path_synopsis.to_sorted_list syn in
+        let heaviest = List.sort (fun (_, a) (_, b) -> compare b a) all in
+        List.iteri
+          (fun i (path, n) ->
+            if i < paths then
+              Printf.printf "  %8d  /%s\n" n
+                (String.concat "/"
+                   (List.map (Lxu_seglog.Tag_registry.name reg) path)))
+          heaviest
+      end);
+    Lazy_db.close db
+  in
+  Cmd.v
+    (Cmd.info "info"
+       ~doc:"Print store statistics for a WAL directory: pages, buffer pool, WAL size, \
+             fragmentation and path-synopsis summary.")
+    Term.(const run $ dir $ storage_arg $ paths)
 
 (* --- maintenance: compact / backup ---------------------------------------- *)
 
@@ -504,8 +595,8 @@ let () =
     Cmd.eval ~catch:false
       (Cmd.group info
          [ query_cmd; stats_cmd; insert_cmd; remove_cmd; generate_cmd; chop_cmd; path_cmd;
-           explain_cmd; save_cmd; restore_cmd; checkpoint_cmd; recover_cmd; compact_cmd;
-           backup_cmd ])
+           explain_cmd; save_cmd; restore_cmd; checkpoint_cmd; recover_cmd; info_cmd;
+           compact_cmd; backup_cmd ])
   with
   | code -> exit code
   | exception Failure msg ->

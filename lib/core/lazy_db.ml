@@ -13,6 +13,7 @@ type t = {
   domains : int;
   mutable pool : Lxu_util.Domain_pool.t option;  (* created on first parallel query *)
   mutable durable : Lxu_storage.Wal_store.t option;  (* WAL home, when durability is on *)
+  mutable pstore : Lxu_storage.Page_store.t option;  (* page store, when storage is paged *)
   mutable epoch : int;  (* committed update operations so far — the MVCC version number *)
 }
 
@@ -24,10 +25,53 @@ type query_stats = {
   elements_scanned : int;
 }
 
-let make_backend ~index_attributes ?cache_bytes = function
-  | LD -> Log (Update_log.create ~mode:Update_log.Lazy_dynamic ~index_attributes ?cache_bytes ())
-  | LS -> Log (Update_log.create ~mode:Update_log.Lazy_static ~index_attributes ?cache_bytes ())
+(* A paged index backend never re-attaches durable trees outside
+   recovery: every fresh log built here (create, load, pack, rebuild)
+   clears the store's previous trees and re-indexes into new pages. *)
+let spec_of_pstore = function
+  | None -> Lxu_btree.Storage_backend.Mem
+  | Some ps -> Lxu_btree.Storage_backend.Paged { store = ps; attach = false }
+
+let make_backend ~index_attributes ?cache_bytes ~pstore = function
+  | LD ->
+    Log
+      (Update_log.create ~mode:Update_log.Lazy_dynamic ~index_attributes ?cache_bytes
+         ~backend:(spec_of_pstore pstore) ())
+  | LS ->
+    Log
+      (Update_log.create ~mode:Update_log.Lazy_static ~index_attributes ?cache_bytes
+         ~backend:(spec_of_pstore pstore) ())
   | STD -> Store (Interval_store.create ~index_attributes ())
+
+let storage_from_env () =
+  match Sys.getenv_opt "LXU_STORAGE" with
+  | Some s when String.lowercase_ascii (String.trim s) = "paged" -> `Paged
+  | _ -> `Mem
+
+let pages_path dir = Filename.concat dir "pages"
+
+let mkdir_p dir =
+  let rec make d =
+    if d <> "" && d <> "/" && d <> "." && not (Sys.file_exists d) then begin
+      make (Filename.dirname d);
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+    end
+  in
+  make dir
+
+(* The page device: a real file beside the WAL when the database is
+   durable (so pages survive restarts and recovery can re-attach), an
+   in-memory device otherwise (paged still bounds index RAM by the
+   pool budget — the beyond-RAM discipline without persistence). *)
+let fresh_pstore ~durability =
+  let device =
+    match durability with
+    | `None -> Lxu_storage.Sim_file.in_memory ()
+    | `Wal dir ->
+      mkdir_p dir;
+      Lxu_storage.Sim_file.open_path (pages_path dir)
+  in
+  Lxu_storage.Page_store.create ~device ()
 
 let mode_of_engine = function
   | LD -> Update_log.Lazy_dynamic
@@ -35,10 +79,13 @@ let mode_of_engine = function
   | STD -> invalid_arg "Lazy_db: the STD engine keeps no reconstructible state"
 
 let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains
-    ?(durability = `None) ?cache_bytes () =
+    ?(durability = `None) ?cache_bytes ?storage () =
   (match pack_threshold with
   | Some k when k < 1 -> invalid_arg "Lazy_db.create: pack_threshold < 1"
   | _ -> ());
+  let storage = match storage with Some s -> s | None -> storage_from_env () in
+  if storage = `Paged && engine = STD then
+    invalid_arg "Lazy_db.create: paged storage requires a lazy engine (LD or LS)";
   let domains =
     match domains with
     | Some d ->
@@ -55,8 +102,9 @@ let create ?(engine = LD) ?(index_attributes = false) ?pack_threshold ?domains
       Some
         (Lxu_storage.Wal_store.fresh ~dir ~mode:(mode_of_engine engine) ~index_attributes)
   in
-  { engine; backend = make_backend ~index_attributes ?cache_bytes engine; pack_threshold;
-    domains; pool = None; durable; epoch = 0 }
+  let pstore = match storage with `Mem -> None | `Paged -> Some (fresh_pstore ~durability) in
+  { engine; backend = make_backend ~index_attributes ?cache_bytes ~pstore engine; pack_threshold;
+    domains; pool = None; durable; pstore; epoch = 0 }
 
 let engine t = t.engine
 let domains t = t.domains
@@ -148,11 +196,15 @@ and remove t ~gp ~len =
 and maybe_pack t =
   match (t.pack_threshold, t.backend) with
   | Some k, Log log when Update_log.segment_count log > k ->
+    (* Materialize before creating the fresh log: with paged storage
+       the new log's indexes clear the store's previous trees, after
+       which the old log's index handles are dead. *)
     let whole = Update_log.materialize log in
     let fresh =
       Update_log.create ~mode:(Update_log.mode log)
         ~index_attributes:(Update_log.indexes_attributes log)
-        ~cache_bytes:(Seg_cache.max_bytes (Update_log.cache log)) ()
+        ~cache_bytes:(Seg_cache.max_bytes (Update_log.cache log))
+        ~backend:(spec_of_pstore t.pstore) ()
     in
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
     t.backend <- Log fresh
@@ -237,7 +289,8 @@ let rebuild t =
     let mode = Update_log.mode log in
     let fresh =
       Update_log.create ~mode ~index_attributes:(Update_log.indexes_attributes log)
-        ~cache_bytes:(Seg_cache.max_bytes (Update_log.cache log)) ()
+        ~cache_bytes:(Seg_cache.max_bytes (Update_log.cache log))
+        ~backend:(spec_of_pstore t.pstore) ()
     in
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
     t.backend <- Log fresh;
@@ -275,8 +328,11 @@ let snapshot t =
     invalid_arg "Lazy_db.snapshot: the STD engine keeps no versioned state (use LD or LS)"
   | Log log ->
     let frozen = Update_log.freeze log ~epoch:t.epoch in
+    (* No pstore either: frozen clones keep in-memory indexes (they
+       materialize from shared segment skeletons), so snapshot reads
+       never touch — or pin — the live database's page store. *)
     { engine = t.engine; backend = Log frozen; pack_threshold = None; domains = t.domains;
-      pool = None; durable = None; epoch = t.epoch }
+      pool = None; durable = None; pstore = None; epoch = t.epoch }
 
 let with_snapshot t f = f (snapshot t)
 
@@ -315,14 +371,18 @@ let of_log ?domains lg =
   in
   { engine; backend = Log lg; pack_threshold = None;
     domains = resolve_domains ~who:"Lazy_db.of_log" domains; pool = None; durable = None;
-    epoch = 0 }
+    pstore = None; epoch = 0 }
 
 let checkpoint t =
   match (t.durable, t.backend) with
   | None, _ ->
     invalid_arg "Lazy_db.checkpoint: database has no WAL (create with ~durability:(`Wal dir))"
   | Some _, Store _ -> assert false (* create rejects STD + durability *)
-  | Some s, Log log -> Lxu_storage.Wal_store.checkpoint s log
+  | Some s, Log log ->
+    let page_checkpoint =
+      Option.map (fun ps lsn -> Lxu_storage.Page_store.checkpoint ps ~lsn) t.pstore
+    in
+    Lxu_storage.Wal_store.checkpoint ?page_checkpoint s log
 
 let batch t f =
   match t.durable with None -> f () | Some s -> Lxu_storage.Wal_store.batch s f
@@ -336,10 +396,17 @@ let backup t ~dir =
     invalid_arg "Lazy_db.backup: database has no WAL (create with ~durability:(`Wal dir))"
   | Some s -> Lxu_storage.Wal_store.backup s ~dir
 
-let close t =
-  match t.durable with None -> () | Some s -> Lxu_storage.Wal_store.close s
+let storage_kind t = match t.pstore with None -> `Mem | Some _ -> `Paged
+let page_store t = t.pstore
+let page_stats t = Option.map Lxu_storage.Page_store.stats t.pstore
 
-let load ?domains ?(durability = `None) path =
+let close t =
+  (match t.durable with None -> () | Some s -> Lxu_storage.Wal_store.close s);
+  match t.pstore with None -> () | Some ps -> Lxu_storage.Page_store.close ps
+
+let load ?domains ?(durability = `None) ?storage path =
+  let storage = match storage with Some s -> s | None -> storage_from_env () in
+  let pstore = match storage with `Mem -> None | `Paged -> Some (fresh_pstore ~durability) in
   let ic = open_in_bin path in
   let lg =
     Fun.protect
@@ -347,10 +414,11 @@ let load ?domains ?(durability = `None) path =
       (fun () ->
         (* Re-raise snapshot errors with the offending file: the
            messages carry the byte offset, this adds which file. *)
-        try Update_log.load ic
+        try Update_log.load ~backend:(spec_of_pstore pstore) ic
         with Failure msg -> failwith (Printf.sprintf "Lazy_db.load: %s: %s" path msg))
   in
   let t = of_log ?domains lg in
+  t.pstore <- pstore;
   (match durability with
   | `None -> ()
   | `Wal dir ->
@@ -358,16 +426,36 @@ let load ?domains ?(durability = `None) path =
       Lxu_storage.Wal_store.fresh ~dir ~mode:(Update_log.mode lg)
         ~index_attributes:(Update_log.indexes_attributes lg)
     in
+    t.durable <- Some s;
     (* The WAL dir starts from this snapshot, not from empty: write
-       the base checkpoint immediately so recovery has it. *)
-    Lxu_storage.Wal_store.checkpoint s lg;
-    t.durable <- Some s);
+       the base checkpoint immediately (page store included) so
+       recovery has it. *)
+    checkpoint t);
   t
 
-let recover ?domains dir =
-  let lg, store, report = Lxu_storage.Wal_store.recover ~dir in
+let recover ?domains ?storage dir =
+  let storage = match storage with Some s -> s | None -> storage_from_env () in
+  let pstore =
+    match storage with
+    | `Mem -> None
+    | `Paged ->
+      let device = Lxu_storage.Sim_file.open_path ~append:true (pages_path dir) in
+      let ps =
+        try Lxu_storage.Page_store.open_existing ~device ()
+        with Failure _ | Lxu_storage.Page_file.Torn_page _ ->
+          (* Missing, torn or unreadable pages file.  The snapshot +
+             WAL can rebuild every index, so start the store over —
+             truncating first so no stale meta page can win a future
+             open. *)
+          Lxu_storage.Sim_file.truncate_to device 0;
+          Lxu_storage.Page_store.create ~device ()
+      in
+      Some ps
+  in
+  let lg, store, report = Lxu_storage.Wal_store.recover ?pstore ~dir () in
   let t = of_log ?domains lg in
   t.durable <- Some store;
+  t.pstore <- pstore;
   (t, report)
 
 let restore_to ?domains ~lsn dir =

@@ -39,6 +39,7 @@ val create :
   ?domains:int ->
   ?durability:[ `None | `Wal of string ] ->
   ?cache_bytes:int ->
+  ?storage:[ `Mem | `Paged ] ->
   unit ->
   t
 (** An empty database; [engine] defaults to [LD].  With
@@ -75,9 +76,21 @@ val create :
     ignored by [STD].  Caching never changes results or join
     statistics — only which fetches hit memory instead of the element
     index.
+
+    [storage] picks where the big indexes live.  [`Mem] (the default)
+    keeps the element index and SB-tree on the OCaml heap.  [`Paged]
+    puts them on copy-on-write pages in a {!Lxu_storage.Page_store}
+    whose RAM residency is bounded by the buffer-pool budget
+    ([LXU_POOL_BYTES]) — the beyond-RAM path: with [`Wal dir]
+    durability the pages live in [dir/pages] and {!checkpoint} makes
+    them durable alongside the snapshot; without durability they live
+    on an in-memory device (bounded residency, no persistence).
+    Defaults to the [LXU_STORAGE] environment variable ([paged]
+    selects [`Paged]), or [`Mem] when unset.  Results are
+    fingerprint-identical across backends.
     @raise Invalid_argument if [pack_threshold < 1], [domains < 1],
-    or [durability] is combined with the [STD] engine (which keeps no
-    reconstructible state). *)
+    or [durability] or [`Paged] storage is combined with the [STD]
+    engine (which keeps no reconstructible state). *)
 
 val engine : t -> engine
 
@@ -215,12 +228,19 @@ val save : t -> string -> unit
     @raise Invalid_argument for the [STD] engine, which keeps no
     reconstructible state. *)
 
-val load : ?domains:int -> ?durability:[ `None | `Wal of string ] -> string -> t
+val load :
+  ?domains:int ->
+  ?durability:[ `None | `Wal of string ] ->
+  ?storage:[ `Mem | `Paged ] ->
+  string ->
+  t
 (** Restores a database saved with {!save}; queries, updates and local
-    labels behave exactly as before the save.  [domains] as in
-    {!create}.  With [~durability:(`Wal dir)] the loaded state
-    immediately becomes the base checkpoint of a fresh WAL directory,
-    and subsequent updates are logged there.
+    labels behave exactly as before the save.  [domains] and [storage]
+    as in {!create} (a save file carries no storage kind — the indexes
+    are rebuilt into whichever backend is requested).  With
+    [~durability:(`Wal dir)] the loaded state immediately becomes the
+    base checkpoint of a fresh WAL directory, and subsequent updates
+    are logged there.
     @raise Failure on a malformed snapshot; the message includes the
     file path and byte offset.
     @raise Sys_error if the file cannot be read. *)
@@ -239,7 +259,10 @@ val checkpoint : t -> unit
 (** Snapshots the current state into the WAL directory and rotates
     the log to empty, bounding recovery time.  Crash-safe at every
     step (temp-file renames; recovery skips already-snapshotted
-    records).
+    records).  On a paged database the page store is checkpointed
+    first at the same LSN — a flush of dirty pages plus one meta-page
+    write, {e not} a rewrite of the whole index — so {!recover} can
+    re-attach the paged indexes instead of rebuilding them.
     @raise Invalid_argument if the database has no WAL. *)
 
 val batch : t -> (unit -> 'a) -> 'a
@@ -248,15 +271,34 @@ val batch : t -> (unit -> 'a) -> 'a
     mid-batch recovers a prefix of the batch.  Without durability,
     just runs [f].  Not reentrant. *)
 
-val recover : ?domains:int -> string -> t * Lxu_storage.Recovery.report
+val recover :
+  ?domains:int -> ?storage:[ `Mem | `Paged ] -> string -> t * Lxu_storage.Recovery.report
 (** [recover dir] restores the database whose durability directory is
     [dir] and reopens its WAL for appending, repairing (truncating) a
     torn tail in place.  The report says what was replayed, skipped
     and discarded.
+
+    With [`Paged] storage (explicit or via [LXU_STORAGE]) the page
+    store at [dir/pages] is reopened: when its durable checkpoint LSN
+    matches the snapshot's, the paged indexes are {e attached} as-is —
+    recovery cost proportional to the WAL suffix, not the index size;
+    on any mismatch (crash between the page checkpoint and the
+    snapshot, missing or torn pages file) the indexes are rebuilt into
+    a reset store, which is slower but always sound.
     @raise Failure when [dir] holds nothing recoverable. *)
 
 val wal_dir : t -> string option
 (** The durability directory, when the database has one. *)
+
+val storage_kind : t -> [ `Mem | `Paged ]
+
+val page_store : t -> Lxu_storage.Page_store.t option
+(** The copy-on-write page store backing the indexes ([None] under
+    [`Mem] storage and on snapshots). *)
+
+val page_stats : t -> Lxu_storage.Page_store.stats option
+(** Page-store counters — pages, free lists, generation, buffer-pool
+    hits/evictions — when the database is paged. *)
 
 val wal_bytes : t -> int option
 (** Current size of the live WAL file, when the database has one — the

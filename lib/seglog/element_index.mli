@@ -14,7 +14,16 @@ type key = { tid : int; sid : int; start : int; stop : int; level : int }
 
 type t
 
-val create : ?branching:int -> unit -> t
+val create : ?branching:int -> ?backend:Lxu_btree.Storage_backend.spec -> unit -> t
+(** [backend] selects where the tree's nodes live (default in
+    memory).  With [Paged { store; attach = true }] the index reopens
+    the durable tree in the store's ["elem"] root slot — only valid
+    when the store's checkpoint LSN matches the snapshot being
+    loaded; with [attach = false] any previous paged tree is freed
+    and the index starts empty.  [branching] applies to the in-memory
+    backend only (paged fan-out follows the page size). *)
+
+val is_paged : t -> bool
 val size : t -> int
 
 val add : t -> key -> unit

@@ -1,0 +1,40 @@
+(** The SB-tree (§3.3): sid → skeleton node, behind the storage
+    backend switch.
+
+    In-memory it is the existing [Bptree.Make(Int)] mapping.  Paged,
+    the tree holds [sid → slot] pairs on copy-on-write pages while the
+    {!Er_node.t} values stay in a RAM vector — skeleton nodes are the
+    small hot part of the store and are rebuilt by every loader, so
+    only the ordered sid structure benefits from paging.  Slots of
+    removed or replaced sids leak until the next {!load_sorted}
+    rebuild (which every [prepare_for_query] / pack performs). *)
+
+type t
+
+val create : ?branching:int -> ?backend:Lxu_btree.Storage_backend.spec -> unit -> t
+(** A fresh empty mapping.  A paged backend always starts empty (the
+    sid → node mapping cannot be attached from disk because the nodes
+    live in RAM); the loader repopulates it via {!load_sorted}. *)
+
+val of_sorted_mem : ?branching:int -> (int * Er_node.t) array -> t
+(** An in-memory mapping bulk-loaded from sorted distinct sids —
+    what snapshot freezing builds regardless of the live backend. *)
+
+val is_paged : t -> bool
+val length : t -> int
+
+val insert : t -> int -> Er_node.t -> unit
+(** Replaces on duplicate sid. *)
+
+val find : t -> int -> Er_node.t option
+val remove : t -> int -> bool
+
+val load_sorted : t -> (int * Er_node.t) array -> unit
+(** Replaces the whole mapping from sorted distinct sids — the bulk
+    rebuild path; also compacts the paged node vector. *)
+
+val insert_sorted_batch : t -> (int * Er_node.t) array -> unit
+(** Merge a sorted batch (replace semantics on duplicate sids). *)
+
+val height : t -> int
+val size_bytes : t -> int

@@ -100,10 +100,14 @@ let create ?max_bytes () =
 let enabled t = t.limit > 0
 let max_bytes t = t.limit
 
-(* Three unboxed int arrays (header + payload) plus the entry record,
-   hash slot and LRU links — close enough for a budget, and what the
-   eviction tests assert against. *)
-let entry_bytes n = (3 * ((n * 8) + 24)) + 96
+(* Actual major-heap words charged per entry, so LXU_CACHE_BYTES and
+   the page pool's LXU_POOL_BYTES budgets mean the same thing:
+   three unboxed int arrays at (n+1) words each (payload + header),
+   the entry record (9 fields + header = 10 words = 80 bytes), the
+   cols record (3 fields + header = 32), the two list cons cells in
+   the hash bucket and by-sid list (2 × 3 words = 48), and the
+   (tid, sid) hash key tuple (3 words = 24). *)
+let entry_bytes n = (3 * (n + 1) * 8) + 184
 
 let last_inval_of t sid = Option.value ~default:0 (Hashtbl.find_opt t.last_inval sid)
 

@@ -11,14 +11,12 @@ type metrics = {
   mutable elements_removed : int;
 }
 
-module Sb = Bptree.Make (Int)
-
 type t = {
   mode : mode;
   index_attributes : bool;
   registry : Tag_registry.t;
   root : Er_node.t;
-  mutable sb : Er_node.t Sb.t;
+  mutable sb : Sb_index.t;
   mutable sb_dirty : bool;
   tag_list : Tag_list.t;
   element_index : Element_index.t;
@@ -40,10 +38,10 @@ type t = {
 }
 
 let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) ?cache_bytes
-    () =
+    ?(backend = Storage_backend.Mem) () =
   let root = Er_node.make_root () in
-  let sb = Sb.create ~branching () in
-  Sb.insert sb 0 root;
+  let sb = Sb_index.create ~branching ~backend () in
+  Sb_index.insert sb 0 root;
   {
     mode;
     index_attributes;
@@ -52,7 +50,7 @@ let create ?(mode = Lazy_dynamic) ?(index_attributes = false) ?(branching = 32) 
     sb;
     sb_dirty = false;
     tag_list = Tag_list.create ();
-    element_index = Element_index.create ~branching ();
+    element_index = Element_index.create ~branching ~backend ();
     synopsis = Path_synopsis.create ();
     cache = Seg_cache.create ?max_bytes:cache_bytes ();
     next_sid = 1;
@@ -285,7 +283,7 @@ let insert t ~gp text =
   let sid = node.sid in
   (* Step 5: SB-tree (kept fresh only under LD). *)
   (match t.mode with
-  | Lazy_dynamic -> Sb.insert t.sb sid node
+  | Lazy_dynamic -> Sb_index.insert t.sb sid node
   | Lazy_static -> t.sb_dirty <- true);
   (* Step 6: element index. *)
   Vec.iter
@@ -402,7 +400,7 @@ let insert_batch ?pool t edits =
          order, so the pairs are already sorted — and one tag-list
          merge over a single gp table, restoring the LD query-ready
          invariant with one pass instead of B. *)
-      Sb.insert_sorted_batch t.sb (Array.of_list (List.rev !sb_pairs));
+      Sb_index.insert_sorted_batch t.sb (Array.of_list (List.rev !sb_pairs));
       Tag_list.sort_all t.tag_list ~gp_of:(gp_table t)
     | Lazy_static -> ());
     List.rev !sids
@@ -489,7 +487,7 @@ let remove t ~gp ~len =
                       { tid = e.tid; sid = n.sid; start = e.start; stop = e.stop; level = e.level }))
           n.elems;
         match t.mode with
-        | Lazy_dynamic -> ignore (Sb.remove t.sb n.sid)
+        | Lazy_dynamic -> ignore (Sb_index.remove t.sb n.sid)
         | Lazy_static -> t.sb_dirty <- true)
   in
   (* Removes virtual range [vu, vv) of [s]'s own text: tombstone it and
@@ -626,16 +624,14 @@ let prepare_for_query t =
     Er_node.iter_subtree t.root (fun n -> Vec.push pairs (n.Er_node.sid, n));
     let pairs = Vec.to_array pairs in
     Array.sort (fun (a, _) (b, _) -> Int.compare a b) pairs;
-    let sb = Sb.create ~branching:t.branching () in
-    Sb.load_sorted sb pairs;
-    t.sb <- sb;
+    Sb_index.load_sorted t.sb pairs;
     t.sb_dirty <- false
   end;
   if Tag_list.is_dirty t.tag_list then Tag_list.sort_all t.tag_list ~gp_of:(gp_table t)
 
 let node_of_sid t sid =
   if t.sb_dirty then failwith "Update_log.node_of_sid: stale SB-tree, call prepare_for_query";
-  match Sb.find t.sb sid with Some n -> n | None -> raise Not_found
+  match Sb_index.find t.sb sid with Some n -> n | None -> raise Not_found
 
 let segments_for_tag t ~tag =
   match Tag_registry.find t.registry tag with
@@ -815,10 +811,10 @@ let check t =
     let live = ref 0 in
     Er_node.iter_subtree t.root (fun n ->
         incr live;
-        match Sb.find t.sb n.Er_node.sid with
+        match Sb_index.find t.sb n.Er_node.sid with
         | Some m when m == n -> ()
         | _ -> failwith (Printf.sprintf "SB-tree misses segment %d" n.Er_node.sid));
-    if Sb.length t.sb <> !live then failwith "SB-tree holds stale segments"
+    if Sb_index.length t.sb <> !live then failwith "SB-tree holds stale segments"
   end;
   (* The live segment counter agrees with the ER-tree walk. *)
   if t.live_segments <> segment_count_walk t then
@@ -842,8 +838,7 @@ let freeze t ~epoch =
   Er_node.iter_subtree root (fun n -> Vec.push pairs (n.Er_node.sid, n));
   let pairs = Vec.to_array pairs in
   Array.sort (fun (a, _) (b, _) -> Int.compare a b) pairs;
-  let sb = Sb.create ~branching:t.branching () in
-  Sb.load_sorted sb pairs;
+  let sb = Sb_index.of_sorted_mem ~branching:t.branching pairs in
   let elems = ref 0 in
   Er_node.iter_subtree root (fun n -> elems := !elems + Vec.length n.Er_node.elems);
   {
@@ -917,7 +912,7 @@ let save t oc =
 
 let full_check = check
 
-let load ic =
+let load ?(backend = Storage_backend.Mem) ic =
   let open Er_node in
   (* Every refusal is a [Failure] naming the byte offset — callers
      (Lazy_db.load, Recovery.read_snapshot) prepend the file path.
@@ -949,7 +944,7 @@ let load ic =
   in
   let index_attributes = scan "attrs %B" Fun.id in
   let next_sid = scan "next_sid %d" Fun.id in
-  let t = create ~mode ~index_attributes () in
+  let t = create ~mode ~index_attributes ~backend () in
   t.next_sid <- next_sid;
   let tag_count = scan "tags %d" Fun.id in
   for expected = 0 to tag_count - 1 do
@@ -996,14 +991,27 @@ let load ic =
   t.root.len <- Vec.fold_left (fun acc (c : Er_node.t) -> acc + c.len) 0 t.root.children;
   t.live_segments <- segment_count_walk t;
   (* Rebuild derived structures: element index and tag lists from the
-     skeletons, SB-tree from the ER-tree. *)
+     skeletons, SB-tree from the ER-tree.  When attaching to a paged
+     store whose checkpoint matches this snapshot, the element index is
+     already durable and the per-element inserts are skipped entirely —
+     [full_check] below still cross-validates it against the skeletons.
+     Otherwise the keys are collected and merged in one sorted batch
+     (one bulk pass instead of a descent per element). *)
+  let attached =
+    match backend with
+    | Storage_backend.Paged { attach = true; _ } -> true
+    | _ -> false
+  in
+  let ekeys = Vec.create () in
   Er_node.iter_subtree t.root (fun n ->
       if not (is_root n) then begin
         let counts = Hashtbl.create 8 in
         Vec.iter
           (fun (e : elem) ->
-            Element_index.add t.element_index
-              { tid = e.tid; sid = n.sid; start = e.start; stop = e.stop; level = e.level };
+            if not attached then
+              Vec.push ekeys
+                { Element_index.tid = e.tid; sid = n.sid; start = e.start; stop = e.stop;
+                  level = e.level };
             Hashtbl.replace counts e.tid
               (1 + Option.value ~default:0 (Hashtbl.find_opt counts e.tid)))
           n.elems;
@@ -1012,6 +1020,7 @@ let load ic =
           (fun tid count -> Tag_list.append t.tag_list ~tid { Tag_list.sid = n.sid; path; count })
           counts
       end);
+  if not attached then Element_index.add_batch t.element_index (Vec.to_array ekeys);
   t.sb_dirty <- true;
   t.synopsis <- synopsis_of_tree t.root;
   ignore (refresh_er_depth t);

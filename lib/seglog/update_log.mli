@@ -32,14 +32,17 @@ type metrics = {
 type t
 
 val create :
-  ?mode:mode -> ?index_attributes:bool -> ?branching:int -> ?cache_bytes:int -> unit -> t
+  ?mode:mode -> ?index_attributes:bool -> ?branching:int -> ?cache_bytes:int ->
+  ?backend:Lxu_btree.Storage_backend.spec -> unit -> t
 (** An empty super document. [mode] defaults to [Lazy_dynamic];
     [index_attributes] (default false) additionally indexes every
     attribute as a subelement named ["@name"] (§1: "attributes can be
     considered as subelements"); [branching] is used for the SB-tree
     and element index; [cache_bytes] is the read-side {!Seg_cache}
     budget (default {!Seg_cache.default_max_bytes}, [<= 0] disables
-    caching). *)
+    caching); [backend] (default in-memory) puts the element index and
+    SB-tree on copy-on-write pages whose RAM residency is bounded by
+    the page store's buffer pool — the beyond-RAM path. *)
 
 val mode : t -> mode
 val indexes_attributes : t -> bool
@@ -193,9 +196,13 @@ val save : t -> out_channel -> unit
     {!load} restores byte-identical behaviour, including local labels
     (a re-chop of the materialized text would assign new ones). *)
 
-val load : in_channel -> t
+val load : ?backend:Lxu_btree.Storage_backend.spec -> in_channel -> t
 (** Restores a log written by {!save}; derived structures (SB-tree,
     element index, tag lists) are rebuilt from the segment data.
+    With [Paged { attach = true; _ }] the element index is {e not}
+    rebuilt — the durable paged tree is reopened as-is, which is only
+    sound when the page store's checkpoint LSN matches this snapshot
+    (callers must verify; {!full_check} cross-validates afterwards).
     @raise Failure on a malformed or incompatible snapshot. *)
 
 (** {1 Fragmentation statistics}

@@ -18,3 +18,8 @@ let sub s ~pos ~len =
   !crc lxor 0xFFFFFFFF
 
 let string s = sub s ~pos:0 ~len:(String.length s)
+
+(* The page layer checksums mutable page buffers in place; the bytes
+   are not mutated while the checksum runs, so the unsafe cast is
+   sound and avoids copying a page per write. *)
+let bytes_sub b ~pos ~len = sub (Bytes.unsafe_to_string b) ~pos ~len

@@ -9,3 +9,8 @@ val sub : string -> pos:int -> len:int -> int
 
 val string : string -> int
 (** Checksum of the whole string. *)
+
+val bytes_sub : bytes -> pos:int -> len:int -> int
+(** Checksum of a byte range of a mutable buffer (no copy; the buffer
+    must not be mutated concurrently).
+    @raise Invalid_argument on an out-of-bounds range. *)

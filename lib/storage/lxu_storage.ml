@@ -1,0 +1,13 @@
+(* Root module of the storage library.  The page layer lives in
+   [Lxu_storage_core] (below the B+-tree library, which needs it);
+   re-exporting it here keeps [Lxu_storage.Sim_file] etc. working for
+   every existing caller. *)
+
+module Crc32 = Lxu_storage_core.Crc32
+module Sim_file = Lxu_storage_core.Sim_file
+module Page_file = Lxu_storage_core.Page_file
+module Buffer_pool = Lxu_storage_core.Buffer_pool
+module Page_store = Lxu_storage_core.Page_store
+module Wal = Wal
+module Wal_store = Wal_store
+module Recovery = Recovery

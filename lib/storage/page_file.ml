@@ -1,0 +1,85 @@
+exception Torn_page of { pid : int; reason : string }
+
+let () =
+  Printexc.register_printer (function
+    | Torn_page { pid; reason } ->
+      Some (Printf.sprintf "Page_file.Torn_page(page %d: %s)" pid reason)
+    | _ -> None)
+
+(* On-disk page [pid] occupies bytes [pid * page_size, (pid+1) *
+   page_size):
+
+     bytes 0-3   CRC32 (LE) of bytes 4 .. page_size-1
+     bytes 4-7   pid echo (LE) — catches misdirected writes
+     bytes 8-..  payload
+
+   The whole page is written in one device write, so the fault
+   injector's [Truncate_tail]/[Bit_flip] on that write is exactly a
+   torn or corrupt page, and the CRC catches it on read. *)
+
+let header_bytes = 8
+
+type t = { device : Sim_file.t; page_size : int; scratch : Buffer.t }
+
+let min_page_size = 128
+
+let create ~device ~page_size =
+  if page_size < min_page_size then
+    invalid_arg (Printf.sprintf "Page_file.create: page_size %d < %d" page_size min_page_size);
+  { device; page_size; scratch = Buffer.create page_size }
+
+let device t = t.device
+let page_size t = t.page_size
+let payload_bytes t = t.page_size - header_bytes
+
+let put_u32 buf v =
+  Buffer.add_char buf (Char.chr (v land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 8) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 16) land 0xff));
+  Buffer.add_char buf (Char.chr ((v lsr 24) land 0xff))
+
+let get_u32 b off =
+  Char.code (Bytes.get b off)
+  lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+  lor (Char.code (Bytes.get b (off + 2)) lsl 16)
+  lor (Char.code (Bytes.get b (off + 3)) lsl 24)
+
+(* Payload -> one full-page device write.  [payload] must be exactly
+   [payload_bytes t] long. *)
+let write t pid payload =
+  if Bytes.length payload <> payload_bytes t then
+    invalid_arg
+      (Printf.sprintf "Page_file.write: payload is %d bytes, page holds %d"
+         (Bytes.length payload) (payload_bytes t));
+  if pid < 0 then invalid_arg "Page_file.write: negative pid";
+  let buf = t.scratch in
+  Buffer.clear buf;
+  put_u32 buf pid;
+  Buffer.add_bytes buf payload;
+  let body = Buffer.contents buf in
+  let crc = Crc32.string body in
+  Buffer.clear buf;
+  put_u32 buf crc;
+  Buffer.add_string buf body;
+  Sim_file.write_at t.device ~off:(pid * t.page_size) (Buffer.contents buf)
+
+(* Reads page [pid] into [payload] (exactly [payload_bytes] long).
+   @raise Torn_page on a short read, CRC mismatch or pid-echo
+   mismatch — all the signatures of a write that never fully
+   happened. *)
+let read t pid payload =
+  if Bytes.length payload <> payload_bytes t then
+    invalid_arg "Page_file.read: payload buffer has the wrong size";
+  if pid < 0 then invalid_arg "Page_file.read: negative pid";
+  let page = Bytes.create t.page_size in
+  let got = Sim_file.read_at t.device ~off:(pid * t.page_size) page in
+  if got < t.page_size then
+    raise (Torn_page { pid; reason = Printf.sprintf "short read (%d of %d bytes)" got t.page_size });
+  let stored_crc = get_u32 page 0 in
+  let crc = Crc32.bytes_sub page ~pos:4 ~len:(t.page_size - 4) in
+  if crc <> stored_crc then
+    raise (Torn_page { pid; reason = Printf.sprintf "crc mismatch (stored %08x, computed %08x)" stored_crc crc });
+  let echo = get_u32 page 4 in
+  if echo <> pid then
+    raise (Torn_page { pid; reason = Printf.sprintf "pid echo %d (misdirected write)" echo });
+  Bytes.blit page header_bytes payload 0 (payload_bytes t)

@@ -1,0 +1,35 @@
+(** Fixed-size checksummed pages over a {!Sim_file} device.
+
+    Each page is one positional device write of [page_size] bytes:
+    a CRC32 of the body, a pid echo (catching misdirected writes) and
+    the payload.  Because a page is exactly one {!Sim_file.write_at},
+    the existing fault-injection machinery covers torn page writes:
+    a [Truncate_tail] scheduled on that write produces a page whose
+    CRC fails on the next read, which is surfaced as {!Torn_page}. *)
+
+exception Torn_page of { pid : int; reason : string }
+
+type t
+
+val min_page_size : int
+
+val create : device:Sim_file.t -> page_size:int -> t
+(** Wraps [device] in page geometry; no I/O happens here.
+    @raise Invalid_argument if [page_size < min_page_size]. *)
+
+val device : t -> Sim_file.t
+val page_size : t -> int
+
+val payload_bytes : t -> int
+(** Usable bytes per page: [page_size] minus the CRC + pid header. *)
+
+val write : t -> int -> bytes -> unit
+(** [write t pid payload] persists [payload] (exactly
+    {!payload_bytes} long) as page [pid], in one device write.
+    @raise Invalid_argument on a wrong-sized payload or negative pid. *)
+
+val read : t -> int -> bytes -> unit
+(** [read t pid payload] fills [payload] with page [pid]'s bytes.
+    @raise Torn_page on a short read, CRC mismatch, or pid-echo
+    mismatch — a page that was never written, torn by a crash, or
+    corrupted. *)

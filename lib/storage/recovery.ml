@@ -1,3 +1,4 @@
+open Lxu_storage_core
 open Lxu_seglog
 
 type report = {
@@ -38,7 +39,20 @@ let write_snapshot ~path ~lsn log =
   Sys.rename tmp path;
   Sim_file.fsync_dir (Filename.dirname path)
 
-let read_snapshot ~path =
+(* With a page store at hand, the snapshot's indexes may live there
+   already: attach when the store's durable checkpoint carries exactly
+   this snapshot's LSN, otherwise rebuild into the store from scratch
+   (the crash fell between the page checkpoint and the snapshot
+   rename, or vice versa — either way the WAL replays the difference
+   on top of a consistent base). *)
+let backend_for ?pstore lsn =
+  match pstore with
+  | None -> Lxu_btree.Storage_backend.Mem
+  | Some ps ->
+    Lxu_btree.Storage_backend.Paged
+      { store = ps; attach = Page_store.checkpoint_lsn ps = lsn }
+
+let read_snapshot ?pstore ~path () =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
@@ -52,14 +66,14 @@ let read_snapshot ~path =
       if lsn < 0 then fail "negative checkpoint lsn";
       (* Update_log.load's messages already carry the byte offset. *)
       let log =
-        try Update_log.load ic
+        try Update_log.load ~backend:(backend_for ?pstore lsn) ic
         with Failure msg -> failwith (Printf.sprintf "%s: %s" path msg)
       in
       (lsn, log))
 
 (* --- replay ----------------------------------------------------------- *)
 
-let replay log (op : Wal.op) =
+let replay ?pstore log (op : Wal.op) =
   match op with
   | Wal.Insert { gp; text } ->
     ignore (Update_log.insert log ~gp text);
@@ -79,22 +93,32 @@ let replay log (op : Wal.op) =
     log
   | Wal.Rebuild ->
     let whole = Update_log.materialize log in
+    let backend =
+      match pstore with
+      | None -> Lxu_btree.Storage_backend.Mem
+      | Some ps -> Lxu_btree.Storage_backend.Paged { store = ps; attach = false }
+    in
     let fresh =
       Update_log.create ~mode:(Update_log.mode log)
-        ~index_attributes:(Update_log.indexes_attributes log) ()
+        ~index_attributes:(Update_log.indexes_attributes log) ~backend ()
     in
     if whole <> "" then ignore (Update_log.insert fresh ~gp:0 whole);
     fresh
 
-let recover_bytes ?path ?base ?(upto_lsn = max_int) wal_bytes =
+let recover_bytes ?pstore ?path ?base ?(upto_lsn = max_int) wal_bytes =
   let scan = Wal.scan ?path wal_bytes in
   let snapshot_lsn, log0 =
     match base with
     | Some (lsn, log) -> (lsn, log)
     | None ->
+      let backend =
+        match pstore with
+        | None -> Lxu_btree.Storage_backend.Mem
+        | Some ps -> Lxu_btree.Storage_backend.Paged { store = ps; attach = false }
+      in
       ( 0,
         Update_log.create ~mode:scan.Wal.header.Wal.mode
-          ~index_attributes:scan.Wal.header.Wal.index_attributes () )
+          ~index_attributes:scan.Wal.header.Wal.index_attributes ~backend () )
   in
   let log = ref log0 in
   let applied = ref 0 and skipped = ref 0 in
@@ -115,7 +139,7 @@ let recover_bytes ?path ?base ?(upto_lsn = max_int) wal_bytes =
               does not want. *)
            incr skipped
          else begin
-           match replay !log r.Wal.op with
+           match replay ?pstore !log r.Wal.op with
            | l ->
              log := l;
              incr applied;

@@ -30,13 +30,22 @@ val write_snapshot : path:string -> lsn:int -> Lxu_seglog.Update_log.t -> unit
     that a power cut can roll back after the WAL was truncated on its
     strength. *)
 
-val read_snapshot : path:string -> int * Lxu_seglog.Update_log.t
-(** @raise Failure on a malformed snapshot; the message includes
+val read_snapshot :
+  ?pstore:Lxu_storage_core.Page_store.t -> path:string -> unit -> int * Lxu_seglog.Update_log.t
+(** With [pstore], the loaded log keeps its indexes on pages in that
+    store: {e attached} as-is when the store's durable checkpoint LSN
+    equals the snapshot's (the page checkpoint and the snapshot were
+    taken together and both survived), rebuilt into the store
+    otherwise — a crash between the two leaves an LSN mismatch and a
+    sound, slower rebuild.
+    @raise Failure on a malformed snapshot; the message includes
     [path] and the byte offset. *)
 
 (** {1 Replay} *)
 
-val replay : Lxu_seglog.Update_log.t -> Wal.op -> Lxu_seglog.Update_log.t
+val replay :
+  ?pstore:Lxu_storage_core.Page_store.t ->
+  Lxu_seglog.Update_log.t -> Wal.op -> Lxu_seglog.Update_log.t
 (** Applies one logged operation.  Returns the log to use from now on
     — [Rebuild] replaces it with a freshly indexed one, mirroring
     {!Lazy_db.rebuild}.
@@ -44,6 +53,7 @@ val replay : Lxu_seglog.Update_log.t -> Wal.op -> Lxu_seglog.Update_log.t
     impossible record (which {!recover_bytes} treats as corruption). *)
 
 val recover_bytes :
+  ?pstore:Lxu_storage_core.Page_store.t ->
   ?path:string ->
   ?base:int * Lxu_seglog.Update_log.t ->
   ?upto_lsn:int ->

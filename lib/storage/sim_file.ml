@@ -3,9 +3,28 @@ type fault =
   | Bit_flip of int
   | Duplicate_tail of int
 
+(* Memory backing: a growable byte region supporting both appends (the
+   WAL) and positional writes (the page file).  [len] is the logical
+   file length; [data] may be longer. *)
+type mem = { mutable data : Bytes.t; mutable len : int }
+
+type file_backing = {
+  path : string;
+  mutable oc : out_channel;
+  mutable closed : bool;
+  (* Positional I/O descriptor, opened on first [write_at]/[read_at]
+     and kept until [close].  The append channel [oc] is flushed
+     before every positional operation so the two views agree. *)
+  mutable fd : Unix.file_descr option;
+}
+
 type backing =
-  | Memory of Buffer.t
-  | File of { path : string; mutable oc : out_channel; mutable closed : bool }
+  | Memory of mem
+  | File of file_backing
+
+(* A buffered write: [at = None] appends, [at = Some off] lands at
+   byte offset [off]. *)
+type pending_write = { at : int option; data : string }
 
 type t = {
   backing : backing;
@@ -15,20 +34,20 @@ type t = {
   (* Writes buffered in the "page cache" (write-back mode only):
      oldest first.  They reach [backing] only on {!sync} — or the
      persisted prefix of a {!crash}. *)
-  mutable pending : string list;  (* newest first *)
+  mutable pending : pending_write list;  (* newest first *)
 }
 
 let in_memory ?(write_back = false) () =
-  { backing = Memory (Buffer.create 256); faults = Hashtbl.create 4; nwrites = 0;
-    write_back; pending = [] }
+  { backing = Memory { data = Bytes.create 256; len = 0 }; faults = Hashtbl.create 4;
+    nwrites = 0; write_back; pending = [] }
 
 let open_path ?(append = false) ?(write_back = false) path =
   let flags =
     [ Open_wronly; Open_creat; Open_binary ] @ if append then [ Open_append ] else [ Open_trunc ]
   in
   let oc = open_out_gen flags 0o644 path in
-  { backing = File { path; oc; closed = false }; faults = Hashtbl.create 4; nwrites = 0;
-    write_back; pending = [] }
+  { backing = File { path; oc; closed = false; fd = None }; faults = Hashtbl.create 4;
+    nwrites = 0; write_back; pending = [] }
 
 let is_write_back t = t.write_back
 
@@ -58,14 +77,57 @@ let random_fault rng ~len =
   | 1 -> Bit_flip (Lxu_workload.Rng.int rng (len * 8))
   | _ -> Duplicate_tail (1 + Lxu_workload.Rng.int rng len)
 
-let persist t data =
-  match t.backing with
-  | Memory buf -> Buffer.add_string buf data
-  | File f ->
+let mem_reserve (m : mem) n =
+  if n > Bytes.length m.data then begin
+    let cap = ref (max 256 (Bytes.length m.data)) in
+    while !cap < n do
+      cap := !cap * 2
+    done;
+    let grown = Bytes.make !cap '\000' in
+    Bytes.blit m.data 0 grown 0 m.len;
+    m.data <- grown
+  end
+
+let mem_write_at (m : mem) ~off data =
+  let n = String.length data in
+  mem_reserve m (off + n);
+  (* A positional write past the end leaves a zero-filled hole, as a
+     sparse file would. *)
+  if off > m.len then Bytes.fill m.data m.len (off - m.len) '\000';
+  Bytes.blit_string data 0 m.data off n;
+  if off + n > m.len then m.len <- off + n
+
+let file_fd f =
+  if f.closed then invalid_arg "Sim_file: device is closed";
+  match f.fd with
+  | Some fd -> fd
+  | None ->
+    let fd = Unix.openfile f.path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+    f.fd <- Some fd;
+    fd
+
+let rec write_all fd buf pos len =
+  if len > 0 then begin
+    let n = Unix.write fd buf pos len in
+    write_all fd buf (pos + n) (len - n)
+  end
+
+let persist_at t ~at data =
+  match (t.backing, at) with
+  | Memory m, None -> mem_write_at m ~off:m.len data
+  | Memory m, Some off -> mem_write_at m ~off data
+  | File f, None ->
     if f.closed then invalid_arg "Sim_file.write: device is closed";
     output_string f.oc data
+  | File f, Some off ->
+    (* Keep the append channel's buffered bytes ahead of the positional
+       write so the file never reorders them. *)
+    if not f.closed then flush f.oc;
+    let fd = file_fd f in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    write_all fd (Bytes.unsafe_of_string data) 0 (String.length data)
 
-let write t data =
+let write_gen t ~at data =
   let data =
     match Hashtbl.find_opt t.faults t.nwrites with
     | Some f -> apply_fault data f
@@ -76,9 +138,12 @@ let write t data =
     (match t.backing with
     | File f when f.closed -> invalid_arg "Sim_file.write: device is closed"
     | _ -> ());
-    t.pending <- data :: t.pending
+    t.pending <- { at; data } :: t.pending
   end
-  else persist t data
+  else persist_at t ~at data
+
+let write t data = write_gen t ~at:None data
+let write_at t ~off data = write_gen t ~at:(Some off) data
 
 let writes t = t.nwrites
 let pending_writes t = List.length t.pending
@@ -87,7 +152,7 @@ let pending_writes t = List.length t.pending
    fsync — the caller decides whether this is a [sync] or the lucky
    prefix of a [crash]. *)
 let drain t =
-  List.iter (persist t) (List.rev t.pending);
+  List.iter (fun w -> persist_at t ~at:w.at w.data) (List.rev t.pending);
   t.pending <- []
 
 let flush t = match t.backing with Memory _ -> () | File f -> if not f.closed then flush f.oc
@@ -107,41 +172,107 @@ let crash ?(keep = 0) t =
   List.iteri
     (fun i w -> if n - i <= kept then survivors := w :: !survivors else incr dropped)
     t.pending;
-  List.iter (persist t) !survivors;
+  List.iter (fun w -> persist_at t ~at:w.at w.data) !survivors;
   t.pending <- [];
   flush t
 
-let size t =
+let backed_size t =
   flush t;
-  let backed =
-    match t.backing with
-    | Memory buf -> Buffer.length buf
-    | File f -> (Unix.stat f.path).Unix.st_size
-  in
-  backed + List.fold_left (fun acc w -> acc + String.length w) 0 t.pending
+  match t.backing with
+  | Memory m -> m.len
+  | File f -> (Unix.stat f.path).Unix.st_size
+
+let size t =
+  let backed = backed_size t in
+  (* Replay the buffered writes over the backed length: appends extend
+     the end, positional writes extend it only when they reach past. *)
+  List.fold_left
+    (fun acc w ->
+      match w.at with
+      | None -> acc + String.length w.data
+      | Some off -> max acc (off + String.length w.data))
+    backed (List.rev t.pending)
 
 let durable_contents t =
   flush t;
   match t.backing with
-  | Memory buf -> Buffer.contents buf
+  | Memory m -> Bytes.sub_string m.data 0 m.len
   | File f ->
     let ic = open_in_bin f.path in
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () -> really_input_string ic (in_channel_length ic))
 
-let contents t = durable_contents t ^ String.concat "" (List.rev t.pending)
+let contents t =
+  let base = durable_contents t in
+  match t.pending with
+  | [] -> base
+  | pending ->
+    let m = { data = Bytes.of_string base; len = String.length base } in
+    List.iter
+      (fun w ->
+        match w.at with
+        | None -> mem_write_at m ~off:m.len w.data
+        | Some off -> mem_write_at m ~off w.data)
+      (List.rev pending);
+    Bytes.sub_string m.data 0 m.len
+
+let read_at t ~off buf =
+  if off < 0 then invalid_arg "Sim_file.read_at: negative offset";
+  flush t;
+  let want = Bytes.length buf in
+  let got =
+    match t.backing with
+    | Memory m ->
+      let n = max 0 (min want (m.len - off)) in
+      Bytes.blit m.data off buf 0 n;
+      n
+    | File f ->
+      let fd = file_fd f in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let rec loop pos =
+        if pos >= want then pos
+        else
+          match Unix.read fd buf pos (want - pos) with
+          | 0 -> pos
+          | n -> loop (pos + n)
+      in
+      loop 0
+  in
+  (* Overlay the buffered (not yet durable) writes, oldest first: a
+     read through the page cache sees them, exactly like [contents]. *)
+  if t.pending = [] then got
+  else begin
+    let backed = backed_size t in
+    let got = ref got in
+    let cursor = ref backed in
+    List.iter
+      (fun w ->
+        let woff = match w.at with None -> !cursor | Some o -> o in
+        let wlen = String.length w.data in
+        (match w.at with None -> cursor := !cursor + wlen | Some o -> cursor := max !cursor (o + wlen));
+        (* Intersection of [woff, woff+wlen) with [off, off+want). *)
+        let lo = max woff off and hi = min (woff + wlen) (off + want) in
+        if hi > lo then begin
+          Bytes.blit_string w.data (lo - woff) buf (lo - off) (hi - lo);
+          if hi - off > !got then got := hi - off
+        end)
+      (List.rev t.pending);
+    !got
+  end
 
 let truncate_to t n =
   drain t;
   flush t;
   match t.backing with
-  | Memory buf ->
-    let keep = String.sub (Buffer.contents buf) 0 (min n (Buffer.length buf)) in
-    Buffer.clear buf;
-    Buffer.add_string buf keep
+  | Memory m -> m.len <- min n m.len
   | File f ->
     if not f.closed then close_out f.oc;
+    (match f.fd with
+    | Some fd ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      f.fd <- None
+    | None -> ());
     Unix.truncate f.path (min n (Unix.stat f.path).Unix.st_size);
     f.oc <- open_out_gen [ Open_wronly; Open_append; Open_binary ] 0o644 f.path;
     f.closed <- false
@@ -152,6 +283,11 @@ let close t =
   | File f ->
     if not f.closed then begin
       close_out f.oc;
+      (match f.fd with
+      | Some fd ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        f.fd <- None
+      | None -> ());
       f.closed <- true
     end
 

@@ -1,10 +1,11 @@
-(** Fault-injectable append-only file — the I/O layer under the
-    write-ahead log.
+(** Fault-injectable file device — the I/O layer under the write-ahead
+    log (append-only via {!write}) and the page file (positional via
+    {!write_at}/{!read_at}).
 
-    Every byte the WAL persists goes through {!write}, so a scheduled
-    fault deterministically corrupts exactly one write the way a
-    crashing kernel or disk would: tearing it short, flipping a bit,
-    or duplicating its tail (a re-issued write after a lost ack).
+    Every byte the WAL or page store persists goes through a write, so
+    a scheduled fault deterministically corrupts exactly one write the
+    way a crashing kernel or disk would: tearing it short, flipping a
+    bit, or duplicating its tail (a re-issued write after a lost ack).
     Backed either by a real file or by an in-memory buffer (the crash
     harness runs thousands of recoveries; memory keeps that cheap).
 
@@ -61,6 +62,22 @@ val write : t -> string -> unit
 (** Appends [data], after applying any fault scheduled for this write
     index.  In write-back mode the data lands in the volatile buffer,
     not the backing. *)
+
+val write_at : t -> off:int -> string -> unit
+(** Positional write: [data] lands at byte offset [off], overwriting
+    in place and extending the file (zero-filling any hole) when it
+    reaches past the end — the page file's primitive.  Faults apply
+    exactly as for {!write}: a [Truncate_tail] here is a torn page.
+    In write-back mode the write is buffered like any other; a
+    {!crash} that drops it models a dirty page that never reached the
+    platter. *)
+
+val read_at : t -> off:int -> bytes -> int
+(** [read_at t ~off buf] fills [buf] from byte offset [off] of the
+    device as the {e process} observes it — buffered write-back data
+    included, like {!contents} — and returns how many bytes were
+    available (short at end of file).  O(pending writes) in write-back
+    mode, O(length of [buf]) otherwise. *)
 
 val writes : t -> int
 (** Writes issued so far. *)

@@ -1,3 +1,4 @@
+open Lxu_storage_core
 type op =
   | Insert of { gp : int; text : string }
   | Remove of { gp : int; len : int }

@@ -1,3 +1,4 @@
+open Lxu_storage_core
 (** Binary write-ahead log for the update stream.
 
     The WAL is a logical redo log: the durable state of a lazy

@@ -1,3 +1,4 @@
+open Lxu_storage_core
 open Lxu_seglog
 
 type t = {
@@ -137,11 +138,16 @@ let rotate_wal t ~mode ~index_attributes ~next_lsn =
   Sim_file.close device;
   t.wal <- Wal.attach ~device:(Sim_file.open_path ~append:true path) ~next_lsn
 
-let checkpoint t log =
+let checkpoint ?page_checkpoint t log =
   check_open t "checkpoint";
   if t.batching then invalid_arg "Wal_store.checkpoint: inside a batch";
   Wal.commit t.wal;
   let lsn = Wal.next_lsn t.wal - 1 in
+  (* Page store first, snapshot second: recovery attaches paged
+     indexes only when the two LSNs agree, so every crash window
+     (page meta ahead of the snapshot, or behind it) degrades to the
+     sound rebuild path rather than attaching mismatched state. *)
+  (match page_checkpoint with Some f -> f lsn | None -> ());
   Recovery.write_snapshot ~path:(snapshot_path t.dir) ~lsn log;
   rotate_wal t ~mode:(Update_log.mode log) ~index_attributes:(Update_log.indexes_attributes log)
     ~next_lsn:(lsn + 1)
@@ -149,16 +155,19 @@ let checkpoint t log =
 (* Shared front half of [recover] and [restore_to]: read snapshot +
    WAL and replay in memory, optionally bounded at [upto_lsn].
    Touches nothing on disk. *)
-let replay_dir ?upto_lsn ~dir () =
+let replay_dir ?pstore ?upto_lsn ~dir () =
   let snap_path = snapshot_path dir in
   let wpath = wal_path dir in
-  let base = if Sys.file_exists snap_path then Some (Recovery.read_snapshot ~path:snap_path) else None in
+  let base =
+    if Sys.file_exists snap_path then Some (Recovery.read_snapshot ?pstore ~path:snap_path ())
+    else None
+  in
   let wal_bytes = if Sys.file_exists wpath then Some (read_file wpath) else None in
   match (base, wal_bytes) with
   | None, None -> failwith (Printf.sprintf "%s: nothing to recover (no snapshot, no wal)" dir)
   | base, Some bytes -> (
     (* Replay mutates the base log in place; recovery owns it. *)
-    try Recovery.recover_bytes ~path:wpath ?base ?upto_lsn bytes
+    try Recovery.recover_bytes ?pstore ~path:wpath ?base ?upto_lsn bytes
     with Failure msg -> (
         (* Unreadable WAL header.  With a snapshot the state is still
            well-defined: everything up to the checkpoint. *)
@@ -200,9 +209,9 @@ let restore_to ~dir ~lsn =
          dir lsn report.Recovery.snapshot_lsn);
   (log, report)
 
-let recover ~dir =
+let recover ?pstore ~dir () =
   let wpath = wal_path dir in
-  let log, report = replay_dir ~dir () in
+  let log, report = replay_dir ?pstore ~dir () in
   let next_lsn = report.Recovery.last_lsn + 1 in
   let t = { dir; wal = Wal.attach ~device:(Sim_file.in_memory ()) ~next_lsn; batching = false; closed = false } in
   let mode = Update_log.mode log and index_attributes = Update_log.indexes_attributes log in

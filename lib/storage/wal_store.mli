@@ -46,13 +46,21 @@ val batch : t -> (unit -> 'a) -> 'a
     so far are still committed (they describe updates that did
     happen).  Not reentrant. *)
 
-val checkpoint : t -> Lxu_seglog.Update_log.t -> unit
+val checkpoint : ?page_checkpoint:(int -> unit) -> t -> Lxu_seglog.Update_log.t -> unit
 (** Writes a snapshot at the current LSN (temp file + fsync + rename +
     directory fsync), then rotates the WAL to empty (same protocol).
     A crash between the two steps is safe: recovery skips replayed
     records at or below the snapshot LSN — and because the snapshot is
     durable {e before} the rotation's directory fsync, a resurrected
-    pre-rotation log can never be the only copy of anything. *)
+    pre-rotation log can never be the only copy of anything.
+
+    [page_checkpoint lsn] (for paged databases) is called with the
+    checkpoint LSN after the WAL commit and {e before} the snapshot is
+    written — it should durably checkpoint the page store at that LSN
+    (see {!Lxu_storage_core.Page_store.checkpoint}).  Recovery attaches
+    the paged indexes only when the page store's checkpoint LSN equals
+    the snapshot's, so a crash anywhere between the two degrades to a
+    sound rebuild rather than attaching mismatched state. *)
 
 val backup : t -> dir:string -> int
 (** [backup t ~dir] commits and fsyncs the live WAL, then copies the
@@ -75,10 +83,15 @@ val restore_to : dir:string -> lsn:int -> Lxu_seglog.Update_log.t * Recovery.rep
     snapshot already covers more history than [lsn] (restore needs a
     backup from before that checkpoint). *)
 
-val recover : dir:string -> Lxu_seglog.Update_log.t * t * Recovery.report
+val recover :
+  ?pstore:Lxu_storage_core.Page_store.t ->
+  dir:string -> unit -> Lxu_seglog.Update_log.t * t * Recovery.report
 (** Restores [snapshot + WAL suffix].  A corrupt tail is truncated
     from the WAL file; if the WAL header itself is unreadable but a
     snapshot exists, the snapshot wins and the WAL is re-initialised.
+    With [pstore] the recovered log keeps its indexes on pages in that
+    store, attached as-is exactly when the store's durable checkpoint
+    LSN matches the snapshot's (see {!Recovery.read_snapshot}).
     @raise Failure when nothing recoverable exists (no snapshot and
     no readable WAL header); messages include the path. *)
 

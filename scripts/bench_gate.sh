@@ -30,7 +30,19 @@
 #                                   least half the reversed-
 #                                   selectivity suite, and never run
 #                                   a query > 1.1x slower
-#                                   (BENCH_plan.json)
+#                                   (BENCH_plan.json), or if the
+#                                   paged storage backend leaves its
+#                                   envelope: warm paged query
+#                                   throughput >= 0.5x in-memory,
+#                                   pool hit rate >= 0.9, the
+#                                   document really beyond 2x the
+#                                   pool budget, extents identical to
+#                                   in-memory, and the in-memory path
+#                                   itself within 0.95x of the
+#                                   committed BENCH_join.json
+#                                   domains=1 figure (so the storage-
+#                                   backend indirection stays free)
+#                                   (BENCH_paged.json)
 #   scripts/bench_gate.sh --smoke   no benchmark run: just check that
 #                                   the committed baselines parse,
 #                                   carry positive throughputs, and
@@ -46,9 +58,10 @@
 #   dune exec bench/main.exe -- mvcc
 #   dune exec bench/main.exe -- maint
 #   dune exec bench/main.exe -- plan
+#   dune exec bench/main.exe -- paged
 # which rewrite BENCH_join.json / BENCH_update.json / BENCH_mvcc.json
-# / BENCH_maint.json / BENCH_plan.json in place; commit them alongside
-# any intentional perf change.
+# / BENCH_maint.json / BENCH_plan.json / BENCH_paged.json in place;
+# commit them alongside any intentional perf change.
 set -eu
 
 root=$(dirname "$0")/..
@@ -57,6 +70,7 @@ update_baseline="$root/BENCH_update.json"
 mvcc_baseline="$root/BENCH_mvcc.json"
 maint_baseline="$root/BENCH_maint.json"
 plan_baseline="$root/BENCH_plan.json"
+paged_baseline="$root/BENCH_paged.json"
 
 # Pulls the domains=1 pairs_per_sec out of a BENCH_join.json.  The
 # bench writer emits compact single-line JSON with a fixed key order
@@ -133,6 +147,46 @@ extract_plan_fp() {
     | cut -d: -f2
 }
 
+# Paged-backend metrics out of a BENCH_paged.json: in-memory join
+# throughput measured by the same run (compared against the committed
+# BENCH_join.json domains=1 figure), the warm paged/mem throughput
+# ratio, the buffer-pool hit rate, and the beyond_ram / results_ok
+# booleans that make the other numbers meaningful.
+extract_paged_mem() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"mem_pairs_per_sec":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+extract_paged_warm() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"warm_ratio":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+extract_paged_hit() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"hit_rate":[0-9.eE+-]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+extract_paged_beyond() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"beyond_ram":[a-z]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
+extract_paged_ok() {
+  tr -d ' \t\n' < "$1" \
+    | grep -o '"results_ok":[a-z]*' \
+    | head -n 1 \
+    | cut -d: -f2
+}
+
 [ -f "$join_baseline" ] || { echo "bench_gate: missing $join_baseline" >&2; exit 1; }
 [ -f "$update_baseline" ] || { echo "bench_gate: missing $update_baseline" >&2; exit 1; }
 join_base=$(extract_join "$join_baseline")
@@ -190,9 +244,42 @@ if ! awk -v r="$plan_worst_base" 'BEGIN { exit !(r + 0 <= 1.1) }'; then
   echo "bench_gate: committed plan worst_ratio ${plan_worst_base} exceeds the 1.1x never-slower bound" >&2
   exit 1
 fi
+[ -f "$paged_baseline" ] || { echo "bench_gate: missing $paged_baseline" >&2; exit 1; }
+paged_mem_base=$(extract_paged_mem "$paged_baseline")
+case "$paged_mem_base" in
+  ''|0) echo "bench_gate: no mem_pairs_per_sec in $paged_baseline" >&2; exit 1 ;;
+esac
+paged_warm_base=$(extract_paged_warm "$paged_baseline")
+case "$paged_warm_base" in
+  ''|0) echo "bench_gate: no warm_ratio in $paged_baseline" >&2; exit 1 ;;
+esac
+paged_hit_base=$(extract_paged_hit "$paged_baseline")
+case "$paged_hit_base" in
+  ''|0) echo "bench_gate: no hit_rate in $paged_baseline" >&2; exit 1 ;;
+esac
+if [ "$(extract_paged_beyond "$paged_baseline")" != "true" ]; then
+  echo "bench_gate: committed paged baseline has beyond_ram != true — the document no longer exceeds 2x the pool budget, so the warm numbers prove nothing" >&2
+  exit 1
+fi
+if [ "$(extract_paged_ok "$paged_baseline")" != "true" ]; then
+  echo "bench_gate: committed paged baseline has results_ok != true — paged extents diverged from in-memory" >&2
+  exit 1
+fi
+if ! awk -v r="$paged_warm_base" 'BEGIN { exit !(r + 0 >= 0.5) }'; then
+  echo "bench_gate: committed paged warm_ratio ${paged_warm_base} is below the 0.5x floor" >&2
+  exit 1
+fi
+if ! awk -v h="$paged_hit_base" 'BEGIN { exit !(h + 0 >= 0.9) }'; then
+  echo "bench_gate: committed paged hit_rate ${paged_hit_base} is below the 0.9 floor" >&2
+  exit 1
+fi
+if ! awk -v m="$paged_mem_base" -v j="$join_base" 'BEGIN { exit !(m + 0 >= 0.95 * j) }'; then
+  echo "bench_gate: committed paged mem_pairs_per_sec ${paged_mem_base} is below 0.95x the committed join baseline ${join_base} — the storage-backend indirection is taxing the in-memory path" >&2
+  exit 1
+fi
 
 if [ "${1:-}" = "--smoke" ]; then
-  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s, mvcc p99 ratio ${mvcc_base}, maint ratios ${maint_auto_base}/${maint_manual_base}, plan ${plan_frac_base} >=3x / worst ${plan_worst_base})"
+  echo "bench_gate: smoke OK (baselines ${join_base} pairs/s, ${update_base} segs/s, mvcc p99 ratio ${mvcc_base}, maint ratios ${maint_auto_base}/${maint_manual_base}, plan ${plan_frac_base} >=3x / worst ${plan_worst_base}, paged warm ${paged_warm_base} / hit ${paged_hit_base})"
   exit 0
 fi
 
@@ -203,7 +290,8 @@ tmp2=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp3=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp4=$(mktemp /tmp/bench_gate.XXXXXX.json)
 tmp5=$(mktemp /tmp/bench_gate.XXXXXX.json)
-trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5"' EXIT
+tmp6=$(mktemp /tmp/bench_gate.XXXXXX.json)
+trap 'rm -f "$tmp" "$tmp2" "$tmp3" "$tmp4" "$tmp5" "$tmp6"' EXIT
 
 (cd "$root" && dune exec bench/main.exe -- parallel --json "$tmp" >/dev/null)
 join_new=$(extract_join "$tmp")
@@ -303,6 +391,53 @@ if awk -v n="$plan_worst_new" -v b="$plan_worst_base" 'BEGIN { exit !(n + 0 <= 1
   echo "bench_gate: plan overhead OK (worst planned/naive ${plan_worst_new} vs baseline ${plan_worst_base}, bound 1.1x)"
 else
   echo "bench_gate: plan FAIL (worst planned/naive ${plan_worst_new} exceeds the 1.1x bound and baseline ${plan_worst_base} + 10%)" >&2
+  fail=1
+fi
+
+# Paged storage backend: the beyond-RAM run must keep its answers
+# identical to in-memory (hard fail), keep the warm paged/mem
+# throughput ratio above the 0.5x floor (with the usual 10% grace
+# against the committed ratio), keep the pool hit rate above 0.9, and
+# keep the same run's in-memory throughput within 0.95x of the
+# committed join baseline so the backend indirection stays free when
+# nobody asked for pages.
+(cd "$root" && dune exec bench/main.exe -- paged --json "$tmp6" >/dev/null)
+if [ "$(extract_paged_ok "$tmp6")" != "true" ]; then
+  echo "bench_gate: paged FAIL (paged extents diverged from in-memory — results_ok != true)" >&2
+  fail=1
+fi
+if [ "$(extract_paged_beyond "$tmp6")" != "true" ]; then
+  echo "bench_gate: paged FAIL (document no longer exceeds 2x the pool budget — beyond_ram != true)" >&2
+  fail=1
+fi
+paged_warm_new=$(extract_paged_warm "$tmp6")
+case "$paged_warm_new" in
+  ''|0) echo "bench_gate: benchmark produced no warm_ratio" >&2; exit 1 ;;
+esac
+paged_hit_new=$(extract_paged_hit "$tmp6")
+case "$paged_hit_new" in
+  ''|0) echo "bench_gate: benchmark produced no hit_rate" >&2; exit 1 ;;
+esac
+paged_mem_new=$(extract_paged_mem "$tmp6")
+case "$paged_mem_new" in
+  ''|0) echo "bench_gate: benchmark produced no mem_pairs_per_sec" >&2; exit 1 ;;
+esac
+if awk -v n="$paged_warm_new" -v b="$paged_warm_base" 'BEGIN { exit !(n + 0 >= 0.5 || n + 0 >= 0.9 * b) }'; then
+  echo "bench_gate: paged warm OK (warm ratio ${paged_warm_new} vs baseline ${paged_warm_base}, floor 0.5x)"
+else
+  echo "bench_gate: paged FAIL (warm ratio ${paged_warm_new} is below the 0.5x floor and baseline ${paged_warm_base} - 10%)" >&2
+  fail=1
+fi
+if awk -v h="$paged_hit_new" 'BEGIN { exit !(h + 0 >= 0.9) }'; then
+  echo "bench_gate: paged hit rate OK (${paged_hit_new}, floor 0.9)"
+else
+  echo "bench_gate: paged FAIL (pool hit rate ${paged_hit_new} is below the 0.9 floor)" >&2
+  fail=1
+fi
+if awk -v m="$paged_mem_new" -v j="$join_base" 'BEGIN { exit !(m + 0 >= 0.95 * j) }'; then
+  echo "bench_gate: paged mem path OK (${paged_mem_new} pairs/s vs join baseline ${join_base}, floor 95%)"
+else
+  echo "bench_gate: paged FAIL (in-memory path ${paged_mem_new} pairs/s is below 0.95x the committed join baseline ${join_base})" >&2
   fail=1
 fi
 

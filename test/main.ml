@@ -24,6 +24,7 @@ let () =
       ("parallel_join", Test_parallel_join.suite);
       ("seg_cache", Test_seg_cache.suite);
       ("storage", Test_storage.suite);
+      ("paged", Test_paged.suite);
       ("recovery", Test_recovery.suite);
       ("governor", Test_governor.suite);
       ("update_batch", Test_update_batch.suite);

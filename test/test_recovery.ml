@@ -165,7 +165,7 @@ let test_error_paths () =
       (* Malformed snapshot: path in the message. *)
       let snap = Wal_store.snapshot_path dir in
       write_file snap "LXUCKPT1 lsn garbage\n";
-      (match Recovery.read_snapshot ~path:snap with
+      (match Recovery.read_snapshot ~path:snap () with
       | exception Failure msg -> check_bool "snapshot names path" true (contains ~needle:snap msg)
       | _ -> Alcotest.fail "malformed checkpoint accepted");
       Sys.remove snap);
